@@ -1,0 +1,275 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (see DESIGN.md §4), plus micro-benchmarks of the computational kernels
+// each experiment leans on. The per-figure benchmarks run the same code
+// paths as `cmd/experiments` with the minimal BenchOptions budgets, so
+// `go test -bench=. -benchmem` regenerates every result shape end to end.
+package sparkxd_test
+
+import (
+	"testing"
+
+	"sparkxd/internal/core"
+	"sparkxd/internal/dataset"
+	"sparkxd/internal/errmodel"
+	"sparkxd/internal/experiments"
+	"sparkxd/internal/mapping"
+	"sparkxd/internal/memctrl"
+	"sparkxd/internal/rng"
+	"sparkxd/internal/snn"
+	"sparkxd/internal/voltscale"
+)
+
+func benchRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.BenchOptions())
+}
+
+// --- one benchmark per paper table/figure --------------------------------
+
+func BenchmarkFig1a(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig1a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		_ = r.Fig1b()
+	}
+}
+
+func BenchmarkFig2a(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig2a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		_ = r.Fig2b()
+	}
+}
+
+func BenchmarkFig2c(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		_ = r.Fig2c()
+	}
+}
+
+func BenchmarkFig2d(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		_ = r.Fig2d()
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		_ = r.Fig6()
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	// Trained models are cached by the runner, so the steady-state
+	// iteration measures the tolerance analysis itself; the first
+	// iteration includes fault-aware training.
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12a(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig12a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12b(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig12b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		_ = r.TableI()
+	}
+}
+
+// --- design-choice ablations (DESIGN.md §5) -------------------------------
+
+func BenchmarkAblationMapping(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationMapping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationErrModels(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationErrModels(1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCoding(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationCoding(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- kernel micro-benchmarks ----------------------------------------------
+
+// BenchmarkMappingBaseline places an N900-sized image sequentially.
+func BenchmarkMappingBaseline(b *testing.B) {
+	f := core.NewFramework()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.LayoutForWeights(784*900, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMappingSparkXD runs Algorithm 2 with a realistic safe set.
+func BenchmarkMappingSparkXD(b *testing.B) {
+	f := core.NewFramework()
+	profile, err := f.ProfileAt(voltscale.V1100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	safe := profile.SafeSubarrays(1e-4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.SparkXD(f.Geom, 784*900*4/32, safe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerReplay streams one N900 inference pass.
+func BenchmarkControllerReplay(b *testing.B) {
+	f := core.NewFramework()
+	layout, err := f.LayoutForWeights(784*900, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := memctrl.New(f.Geom, f.Circuit.Timing(voltscale.V1025))
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := layout.AccessStream()
+	b.SetBytes(int64(len(stream) * f.Geom.ColumnBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ctl.ReplayReads(stream)
+	}
+}
+
+// BenchmarkErrorInjection corrupts an N900 FP32 weight image at BER 1e-3.
+func BenchmarkErrorInjection(b *testing.B) {
+	f := core.NewFramework()
+	layout, err := f.LayoutForWeights(784*900, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile, err := errmodel.UniformProfile(f.Geom, 1e-3, f.DeviceSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := make([]float32, 784*900)
+	r := rng.New(1)
+	for i := range w {
+		w[i] = r.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = f.CorruptWeights(w, layout, profile, rng.New(uint64(i)))
+	}
+}
+
+// BenchmarkSNNInference measures one sample presentation (N400).
+func BenchmarkSNNInference(b *testing.B) {
+	net, err := snn.New(snn.DefaultConfig(400), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dataset.DefaultConfig(dataset.MNISTLike)
+	cfg.Train, cfg.Test = 4, 1
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.SpikeCounts(train.Images[i%train.Len()], rng.New(uint64(i)))
+	}
+}
+
+// BenchmarkSNNTrainEpoch measures one STDP epoch over 32 samples (N400).
+func BenchmarkSNNTrainEpoch(b *testing.B) {
+	net, err := snn.New(snn.DefaultConfig(400), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dataset.DefaultConfig(dataset.MNISTLike)
+	cfg.Train, cfg.Test = 32, 1
+	train, _, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainEpoch(train, rng.New(uint64(i)))
+	}
+}
+
+// BenchmarkEndToEndPipeline runs the complete SparkXD flow on a tiny
+// configuration (the quickstart example's workload).
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	f := core.NewFramework()
+	cfg := core.DefaultRunConfig(50)
+	cfg.TrainN, cfg.TestN = 60, 30
+	cfg.BaseEpochs = 1
+	cfg.Train.Rates = []float64{1e-5, 1e-3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

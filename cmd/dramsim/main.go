@@ -1,0 +1,101 @@
+// Command dramsim is a standalone approximate-DRAM simulator: it places a
+// weight image of the requested size with either mapping policy, replays
+// the inference access stream through the memory controller at a chosen
+// supply voltage, and prints the access census, command counts, timing,
+// and the DRAMPower-style energy breakdown. With -trace it also dumps the
+// command trace (time, command, bank, row/col), one line per command.
+//
+// Usage:
+//
+//	dramsim -weights 705600 -policy sparkxd -voltage 1.1 -berth 1e-4
+//	dramsim -weights 313600 -policy baseline -trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sparkxd/internal/core"
+	"sparkxd/internal/dram"
+	"sparkxd/internal/memctrl"
+	"sparkxd/internal/report"
+)
+
+func main() {
+	var (
+		weights = flag.Int("weights", 784*900, "number of FP32 weights to stream")
+		policy  = flag.String("policy", "baseline", "mapping policy: baseline or sparkxd")
+		voltage = flag.Float64("voltage", 1.35, "DRAM supply voltage [V]")
+		berth   = flag.Float64("berth", 1e-3, "max tolerable BER (sparkxd policy only)")
+		trace   = flag.Bool("trace", false, "dump the DRAM command trace to stdout")
+	)
+	flag.Parse()
+
+	f := core.NewFramework()
+	var (
+		layout interface {
+			AccessStream() []dram.Coord
+		}
+		err error
+	)
+	switch *policy {
+	case "baseline":
+		layout, err = f.LayoutForWeights(*weights, nil)
+	case "sparkxd":
+		layout, _, _, err = f.MapWeightsAdaptive(*weights, *voltage, *berth)
+	default:
+		fmt.Fprintf(os.Stderr, "dramsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dramsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctl, err := memctrl.New(f.Geom, f.Circuit.Timing(*voltage))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dramsim: %v\n", err)
+		os.Exit(1)
+	}
+	var w *bufio.Writer
+	if *trace {
+		w = bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		ctl.OnCommand = func(cmd dram.Command, atNs float64) {
+			switch cmd.Kind {
+			case dram.CmdACT:
+				fmt.Fprintf(w, "%12.2f ns  ACT  bank=%v row=%d\n", atNs, cmd.Bank, cmd.Row)
+			case dram.CmdPRE:
+				fmt.Fprintf(w, "%12.2f ns  PRE  bank=%v\n", atNs, cmd.Bank)
+			default:
+				fmt.Fprintf(w, "%12.2f ns  %-4v bank=%v col=%d\n", atNs, cmd.Kind, cmd.Bank, cmd.Col)
+			}
+		}
+	}
+	stats := ctl.ReplayReads(layout.AccessStream())
+	if w != nil {
+		w.Flush()
+	}
+
+	b := f.Power.Energy(stats.Tally, *voltage)
+	tb := report.NewTable(fmt.Sprintf("dramsim: %d weights, %s mapping, %.3f V", *weights, *policy, *voltage),
+		"metric", "value")
+	tb.AddRow("accesses", stats.Accesses())
+	tb.AddRow("row-buffer hits", stats.Hits)
+	tb.AddRow("row-buffer misses", stats.Misses)
+	tb.AddRow("row-buffer conflicts", stats.Conflicts)
+	tb.AddRow("hit rate", report.Pct(stats.HitRate()))
+	tb.AddRow("ACT / PRE / RD / REF", fmt.Sprintf("%d / %d / %d / %d",
+		stats.Tally.NACT, stats.Tally.NPRE, stats.Tally.NRD, stats.Tally.NREF))
+	tb.AddRow("makespan", fmt.Sprintf("%.2f us", stats.TotalNs/1000))
+	tb.AddRow("bus utilization", report.Pct(stats.BusUtilization()))
+	tb.AddRow("energy: ACT", fmt.Sprintf("%.1f nJ", b.ActNJ))
+	tb.AddRow("energy: PRE", fmt.Sprintf("%.1f nJ", b.PreNJ))
+	tb.AddRow("energy: RD", fmt.Sprintf("%.1f nJ", b.RdNJ))
+	tb.AddRow("energy: REF", fmt.Sprintf("%.1f nJ", b.RefNJ))
+	tb.AddRow("energy: background", fmt.Sprintf("%.1f nJ", b.BgNJ))
+	tb.AddRow("energy: total", fmt.Sprintf("%.4f mJ", b.TotalMJ()))
+	tb.Render(os.Stdout)
+}

@@ -1,0 +1,143 @@
+// Command experiments regenerates the tables and figures of the SparkXD
+// paper's evaluation (see DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig 2b            # one figure (1a 1b 2a 2b 2c 2d 6 8 11 12a 12b)
+//	experiments -table 1           # Table I
+//	experiments -all               # everything
+//	experiments -full -fig 11      # paper-scale sizes instead of quick mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparkxd/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure to regenerate: 1a 1b 2a 2b 2c 2d 6 8 11 12a 12b")
+		table    = flag.String("table", "", "table to regenerate: 1")
+		ablation = flag.Bool("ablations", false, "run the design-choice ablations (error models, mapping, coding)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		full     = flag.Bool("full", false, "paper-scale sizes (slower); default is quick mode")
+		list     = flag.Bool("list", false, "list available experiments")
+		seed     = flag.Uint64("seed", 2021, "random seed")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures:   1a 1b 2a 2b 2c 2d 6 8 11 12a 12b")
+		fmt.Println("tables:    1")
+		fmt.Println("ablations: -ablations (error models, mapping decomposition, spike coding)")
+		return
+	}
+
+	opts := experiments.Options{Quick: !*full, Seed: *seed, Log: os.Stderr}
+	if *quiet {
+		opts.Log = nil
+	}
+	r := experiments.NewRunner(opts)
+	out := os.Stdout
+
+	run := func(name string) error {
+		fmt.Fprintf(out, "\n================ %s ================\n", name)
+		switch name {
+		case "fig1a":
+			res, err := r.Fig1a()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case "fig1b":
+			r.Fig1b().Render(out)
+		case "fig2a":
+			res, err := r.Fig2a()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case "fig2b":
+			r.Fig2b().Render(out)
+		case "fig2c":
+			r.Fig2c().Render(out)
+		case "fig2d":
+			r.Fig2d().Render(out)
+		case "fig6":
+			r.Fig6().Render(out)
+		case "fig8":
+			res, err := r.Fig8()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case "fig11":
+			res, err := r.Fig11()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case "fig12a":
+			res, err := r.Fig12a()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case "fig12b":
+			res, err := r.Fig12b()
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+		case "table1":
+			r.TableI().Render(out)
+		case "ablations":
+			am, err := r.AblationMapping()
+			if err != nil {
+				return err
+			}
+			am.Render(out)
+			ae, err := r.AblationErrModels(1e-3)
+			if err != nil {
+				return err
+			}
+			ae.Render(out)
+			ac, err := r.AblationCoding()
+			if err != nil {
+				return err
+			}
+			ac.Render(out)
+		default:
+			return fmt.Errorf("unknown experiment %q (try -list)", name)
+		}
+		return nil
+	}
+
+	var names []string
+	switch {
+	case *all:
+		names = []string{"fig1a", "fig1b", "fig2a", "fig2b", "fig2c", "fig2d",
+			"fig6", "fig8", "fig11", "fig12a", "fig12b", "table1", "ablations"}
+	case *fig != "":
+		names = []string{"fig" + *fig}
+	case *table != "":
+		names = []string{"table" + *table}
+	case *ablation:
+		names = []string{"ablations"}
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -fig, -table, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command sparkxd runs the end-to-end SparkXD pipeline (Fig. 7 of the
+// paper) on one network configuration: train a baseline SNN, improve its
+// error tolerance with fault-aware training (Algorithm 1), find the
+// maximum tolerable BER, map the weights into safe subarrays of the
+// approximate DRAM (Algorithm 2), and report accuracy, DRAM energy, and
+// throughput.
+//
+// Usage:
+//
+//	sparkxd -neurons 400 -dataset mnist -voltage 1.025
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparkxd/internal/core"
+	"sparkxd/internal/dataset"
+	"sparkxd/internal/report"
+)
+
+func main() {
+	var (
+		neurons = flag.Int("neurons", 400, "excitatory neurons (paper: 400/900/1600/2500/3600)")
+		flavor  = flag.String("dataset", "mnist", "dataset flavour: mnist or fashion")
+		voltage = flag.Float64("voltage", 1.025, "approximate-DRAM supply voltage [V]")
+		trainN  = flag.Int("train", 300, "training samples")
+		testN   = flag.Int("test", 128, "test samples")
+		epochs  = flag.Int("epochs", 2, "error-free training epochs")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fl := dataset.MNISTLike
+	switch *flavor {
+	case "mnist":
+	case "fashion":
+		fl = dataset.FashionLike
+	default:
+		fmt.Fprintf(os.Stderr, "sparkxd: unknown dataset %q (mnist|fashion)\n", *flavor)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultRunConfig(*neurons)
+	cfg.Flavor = fl
+	cfg.Voltage = *voltage
+	cfg.TrainN = *trainN
+	cfg.TestN = *testN
+	cfg.BaseEpochs = *epochs
+	cfg.NetworkSeed = *seed
+
+	fmt.Printf("SparkXD: N%d on %s, approximate DRAM at %.3f V\n", *neurons, fl, *voltage)
+	f := core.NewFramework()
+	res, err := f.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+		os.Exit(1)
+	}
+
+	tb := report.NewTable("pipeline result", "metric", "value")
+	tb.AddRow("baseline accuracy (accurate DRAM)", report.Pct(res.BaselineAcc))
+	tb.AddRow("improved accuracy (approx DRAM, SparkXD)", report.Pct(res.ImprovedAcc))
+	tb.AddRow("maximum tolerable BER", fmt.Sprintf("%.0e", res.BERth))
+	tb.AddRow("DRAM energy, baseline @1.350V", fmt.Sprintf("%.4f mJ", res.EnergyBaseline.TotalMJ()))
+	tb.AddRow("DRAM energy, SparkXD", fmt.Sprintf("%.4f mJ @%.3fV", res.EnergySparkXD.TotalMJ(), res.EnergySparkXD.Voltage))
+	tb.AddRow("DRAM energy savings", report.Pct(res.EnergySavings()))
+	tb.AddRow("speed-up (mapping effect)", fmt.Sprintf("%.3fx", res.Speedup))
+	tb.AddRow("row-buffer hit rate (SparkXD)", report.Pct(res.EnergySparkXD.Stats.HitRate()))
+	tb.Render(os.Stdout)
+
+	curve := report.NewTable("error-tolerance curve of the improved model", "BER", "accuracy")
+	for _, p := range res.Curve {
+		curve.AddRow(fmt.Sprintf("%.0e", p.BER), report.Pct(p.Acc))
+	}
+	curve.Render(os.Stdout)
+}

@@ -1,0 +1,8 @@
+// Package sparkxd is a from-scratch Go reproduction of "SparkXD: A
+// Framework for Resilient and Energy-Efficient Spiking Neural Network
+// Inference using Approximate DRAM" (Putra, Hanif, Shafique — DAC 2021).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), runnable binaries under cmd/, usage examples under
+// examples/, and the per-figure benchmark harness in bench_test.go.
+package sparkxd

@@ -1,0 +1,70 @@
+// Faultaware: demonstrates what the paper's Algorithm 1 buys.
+//
+// It trains one SNN normally and one with fault-aware training, then
+// evaluates both under approximate-DRAM bit errors across the BER sweep,
+// printing the Fig. 11-style comparison: the naive model degrades as the
+// error rate grows, the fault-aware model stays near the error-free
+// baseline.
+//
+//	go run ./examples/faultaware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparkxd/internal/core"
+	"sparkxd/internal/dataset"
+	"sparkxd/internal/errmodel"
+	"sparkxd/internal/report"
+	"sparkxd/internal/rng"
+	"sparkxd/internal/snn"
+)
+
+func main() {
+	const neurons = 150
+	f := core.NewFramework()
+
+	dcfg := dataset.DefaultConfig(dataset.MNISTLike)
+	dcfg.Train, dcfg.Test = 250, 120
+	train, test, err := dataset.Generate(dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: trained without any DRAM errors.
+	baseline, err := snn.New(snn.DefaultConfig(neurons), rng.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		baseline.TrainEpoch(train, rng.New(uint64(10+e)))
+	}
+	baseline.AssignLabels(train, rng.New(20))
+
+	// Improved: Algorithm 1 fault-aware training on top of the baseline.
+	tcfg := core.DefaultTrainConfig()
+	tcfg.Rates = []float64{1e-7, 1e-5, 1e-3}
+	res, err := f.ImproveErrorTolerance(baseline, train, test, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("error-free baseline accuracy: %.1f%%\n\n", res.BaselineAcc*100)
+
+	layout, err := f.LayoutFor(baseline, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := report.NewTable("accuracy under approximate-DRAM bit errors",
+		"BER", "naive model", "fault-aware model (SparkXD)")
+	for i, ber := range []float64{1e-9, 1e-7, 1e-5, 1e-3, 1e-2} {
+		profile, err := errmodel.UniformProfile(f.Geom, ber, f.DeviceSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		accNaive := f.EvaluateUnderErrors(baseline, test, layout, profile, uint64(40+i), 99)
+		accAware := f.EvaluateUnderErrors(res.Model, test, layout, profile, uint64(40+i), 99)
+		tb.AddRow(fmt.Sprintf("%.0e", ber), report.Pct(accNaive), report.Pct(accAware))
+	}
+	tb.Render(log.Writer())
+}

@@ -1,0 +1,38 @@
+// Quickstart: the smallest end-to-end SparkXD run.
+//
+// It trains a small unsupervised SNN on the synthetic MNIST flavour,
+// applies fault-aware training against approximate-DRAM bit errors,
+// finds the maximum tolerable BER, maps the weights into safe DRAM
+// subarrays, and prints the accuracy/energy outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparkxd/internal/core"
+)
+
+func main() {
+	f := core.NewFramework()
+
+	cfg := core.DefaultRunConfig(100) // 100 excitatory neurons: runs in seconds
+	cfg.TrainN, cfg.TestN = 200, 100
+	cfg.BaseEpochs = 2
+
+	res, err := f.Run(cfg)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	fmt.Println("SparkXD quickstart")
+	fmt.Printf("  baseline accuracy (accurate DRAM @1.350V): %5.1f%%\n", res.BaselineAcc*100)
+	fmt.Printf("  improved accuracy (approx   DRAM @1.025V): %5.1f%%\n", res.ImprovedAcc*100)
+	fmt.Printf("  maximum tolerable BER:                     %.0e\n", res.BERth)
+	fmt.Printf("  DRAM energy baseline:                      %.4f mJ\n", res.EnergyBaseline.TotalMJ())
+	fmt.Printf("  DRAM energy SparkXD:                       %.4f mJ\n", res.EnergySparkXD.TotalMJ())
+	fmt.Printf("  DRAM energy savings:                       %5.1f%%\n", res.EnergySavings()*100)
+	fmt.Printf("  throughput (mapping speed-up):             %.3fx\n", res.Speedup)
+}

@@ -1,0 +1,496 @@
+// Package core implements the SparkXD framework itself — the paper's
+// contribution (Sec. IV, Fig. 7). It wires the substrates together:
+//
+//	reduced supply voltage ─┐
+//	DRAM error modeling ────┼─> Improving the SNN Error Tolerance (IV-B)
+//	SNN model ──────────────┘        │ improved model
+//	                                 v
+//	                     Analyzing the Error Tolerance (IV-C)
+//	                                 │ maximum tolerable BER (BERth)
+//	                                 v
+//	                     DRAM Mapping (IV-D, Algorithm 2)
+//	                                 │
+//	                                 v
+//	          improved SNN + safe-subarray, row-hit-maximizing mapping
+//
+// The three public phases are ImproveErrorTolerance (Algorithm 1),
+// AnalyzeErrorTolerance (the linear BER search), and MapModel
+// (Algorithm 2 via package mapping), with Evaluate* helpers that measure
+// accuracy, DRAM energy, and throughput for the experiment harness.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sparkxd/internal/dataset"
+	"sparkxd/internal/dram"
+	"sparkxd/internal/errmodel"
+	"sparkxd/internal/mapping"
+	"sparkxd/internal/memctrl"
+	"sparkxd/internal/power"
+	"sparkxd/internal/quant"
+	"sparkxd/internal/rng"
+	"sparkxd/internal/snn"
+	"sparkxd/internal/voltscale"
+)
+
+// Framework bundles the device models SparkXD operates against.
+type Framework struct {
+	Geom    dram.Geometry
+	Circuit voltscale.Model
+	Power   power.Model
+	// ErrKind selects the EDEN error model (the paper uses Model 0).
+	ErrKind errmodel.Kind
+	// Spread is the per-subarray BER lognormal sigma for voltage-derived
+	// profiles (0 = uniform device).
+	Spread float64
+	// DeviceSeed pins weak-cell locations of the simulated device.
+	DeviceSeed uint64
+	// Format is the stored weight representation (FP32 in the paper).
+	Format quant.Format
+}
+
+// NewFramework returns the paper's experimental setup: LPDDR3-1600 4Gb,
+// calibrated circuit and power models, EDEN error model 0, FP32 weights.
+func NewFramework() *Framework {
+	return &Framework{
+		Geom:       dram.LPDDR3_1600_4Gb(),
+		Circuit:    voltscale.Default(),
+		Power:      power.Default(),
+		ErrKind:    errmodel.Model0,
+		Spread:     errmodel.DefaultSpread,
+		DeviceSeed: 0xD0C5EED,
+		Format:     quant.FP32,
+	}
+}
+
+// Validate reports whether the framework is coherent.
+func (f *Framework) Validate() error {
+	if err := f.Geom.Validate(); err != nil {
+		return err
+	}
+	if err := f.Circuit.Validate(); err != nil {
+		return err
+	}
+	if err := f.Power.Validate(); err != nil {
+		return err
+	}
+	if f.Spread < 0 {
+		return errors.New("core: spread must be non-negative")
+	}
+	return nil
+}
+
+// LayoutForWeights places an image of weightCount weights with the given
+// policy: nil safe flags select the baseline sequential mapping, a
+// safe-flag set selects Algorithm 2.
+func (f *Framework) LayoutForWeights(weightCount int, safe []bool) (*mapping.Layout, error) {
+	units := mapping.UnitsFor(f.Format.ImageSize(weightCount, f.Geom.ColumnBytes), f.Geom.ColumnBytes)
+	if safe == nil {
+		return mapping.Baseline(f.Geom, units)
+	}
+	return mapping.SparkXD(f.Geom, units, safe)
+}
+
+// LayoutFor places a network's weight image with the given policy
+// ("baseline" or a SparkXD safe-flag set).
+func (f *Framework) LayoutFor(net *snn.Network, safe []bool) (*mapping.Layout, error) {
+	return f.LayoutForWeights(net.WeightCount(), safe)
+}
+
+// CorruptWeights serializes weights through the layout, injects errors
+// from the profile, and returns the corrupted weights plus the number of
+// flipped bits. The input slice is not modified.
+func (f *Framework) CorruptWeights(w []float32, layout *mapping.Layout,
+	profile *errmodel.Profile, r *rng.Stream) ([]float32, int64) {
+	img := make([]byte, f.Format.ImageSize(len(w), layout.UnitBytes()))
+	if err := quant.Serialize(w, f.Format, img); err != nil {
+		panic("core: serialize: " + err.Error()) // sizes are internally consistent
+	}
+	inj := errmodel.NewInjector(f.ErrKind, profile)
+	flips := inj.Inject(img, layout, r)
+	out := make([]float32, len(w))
+	if err := quant.Deserialize(img, f.Format, out); err != nil {
+		panic("core: deserialize: " + err.Error())
+	}
+	return out, flips
+}
+
+// EvaluateUnderErrors measures a network's accuracy when its weights pass
+// through approximate DRAM: weights are corrupted via (layout, profile),
+// loaded into a clone (with on-load sanitization), and evaluated.
+// The eval stream is derived deterministically from evalSeed so that
+// different corruption conditions are compared on identical spike trains
+// (paired evaluation, which removes encoder noise from the comparison).
+func (f *Framework) EvaluateUnderErrors(net *snn.Network, test *dataset.Dataset,
+	layout *mapping.Layout, profile *errmodel.Profile, injectSeed, evalSeed uint64) float64 {
+	w, _ := f.CorruptWeights(net.WeightsFlat(), layout, profile, rng.New(injectSeed))
+	clone := net.Clone()
+	if err := clone.SetWeightsFlat(w); err != nil {
+		panic("core: " + err.Error())
+	}
+	return clone.Evaluate(test, rng.New(evalSeed))
+}
+
+// TrainConfig parameterizes Algorithm 1 (fault-aware training).
+type TrainConfig struct {
+	// Rates is the increasing BER schedule (e.g. 1e-9, 1e-8, ..., 1e-3:
+	// "the next error rate is 10x of the previous one").
+	Rates []float64
+	// EpochsPerRate is Nepoch in Algorithm 1.
+	EpochsPerRate int
+	// AccBound is the tolerated accuracy drop versus the error-free
+	// baseline (the paper uses 1% = 0.01).
+	AccBound float64
+	// Seed drives error injection and spike encoding during training.
+	Seed uint64
+}
+
+// DefaultTrainConfig mirrors the paper's schedule.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Rates:         []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3},
+		EpochsPerRate: 1,
+		AccBound:      0.01,
+		Seed:          7,
+	}
+}
+
+// TrainResult is the outcome of Algorithm 1.
+type TrainResult struct {
+	// Model is the improved (fault-aware trained) network.
+	Model *snn.Network
+	// BaselineAcc is the error-free accuracy of the input model (acc0).
+	BaselineAcc float64
+	// BERth is the highest BER whose accuracy met the bound during
+	// training (refined further by AnalyzeErrorTolerance).
+	BERth float64
+	// PerRate records accuracy after training at each schedule rate.
+	PerRate []RatePoint
+}
+
+// RatePoint is one (BER, accuracy) observation.
+type RatePoint struct {
+	BER float64
+	Acc float64
+}
+
+// ImproveErrorTolerance implements Algorithm 1: starting from a trained
+// baseline model, it walks the increasing BER schedule; at each rate it
+// injects bit errors into the stored weights (baseline mapping, fixed
+// weak cells), retrains for EpochsPerRate epochs, and evaluates under the
+// same error rate. The last rate whose accuracy stays within AccBound of
+// the baseline defines the provisional BERth. The input network is not
+// modified; the improved model is returned.
+func (f *Framework) ImproveErrorTolerance(baseline *snn.Network,
+	train, test *dataset.Dataset, cfg TrainConfig) (*TrainResult, error) {
+	if len(cfg.Rates) == 0 {
+		return nil, errors.New("core: empty BER schedule")
+	}
+	for i := 1; i < len(cfg.Rates); i++ {
+		if cfg.Rates[i] <= cfg.Rates[i-1] {
+			return nil, errors.New("core: BER schedule must be strictly increasing")
+		}
+	}
+	if cfg.EpochsPerRate <= 0 {
+		return nil, errors.New("core: EpochsPerRate must be positive")
+	}
+
+	layout, err := f.LayoutFor(baseline, nil) // training assumes baseline mapping
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	evalSeed := root.Derive("eval").Uint64()
+	acc0 := baseline.Evaluate(test, rng.New(evalSeed))
+
+	modelTemp := baseline.Clone()
+	res := &TrainResult{BaselineAcc: acc0, BERth: 0}
+	best := baseline.Clone() // fall back to the input if nothing passes
+
+	for i, rate := range cfg.Rates {
+		profile, err := errmodel.UniformProfile(f.Geom, rate, f.DeviceSeed)
+		if err != nil {
+			return nil, err
+		}
+		for e := 0; e < cfg.EpochsPerRate; e++ {
+			// Inject errors into the stored weights, load (sanitized),
+			// then train: the network adapts around the corrupted cells.
+			w, _ := f.CorruptWeights(modelTemp.WeightsFlat(), layout, profile,
+				root.DeriveIndex("inject", i*cfg.EpochsPerRate+e))
+			if err := modelTemp.SetWeightsFlat(w); err != nil {
+				return nil, err
+			}
+			modelTemp.TrainEpoch(train, root.DeriveIndex("train", i*cfg.EpochsPerRate+e))
+		}
+		modelTemp.AssignLabels(train, root.DeriveIndex("assign", i))
+		acc := f.EvaluateUnderErrors(modelTemp, test, layout, profile,
+			root.DeriveIndex("evalinject", i).Uint64(), evalSeed)
+		res.PerRate = append(res.PerRate, RatePoint{BER: rate, Acc: acc})
+		if acc >= acc0-cfg.AccBound {
+			best = modelTemp.Clone()
+			res.BERth = rate
+		}
+	}
+	res.Model = best
+	return res, nil
+}
+
+// AnalyzeErrorTolerance implements Sec. IV-C: a linear search over the
+// given increasing BER values, evaluating the (already improved) model
+// under error injection at each rate, returning the maximum tolerable
+// BER — the largest rate whose accuracy stays within accBound of
+// baselineAcc — together with the full tolerance curve. The paper relies
+// on the curve being generally decreasing (Fig. 8), so the search keeps
+// the last passing rate.
+func (f *Framework) AnalyzeErrorTolerance(model *snn.Network,
+	test *dataset.Dataset, rates []float64, baselineAcc, accBound float64,
+	seed uint64) (float64, []RatePoint, error) {
+	if len(rates) == 0 {
+		return 0, nil, errors.New("core: no BER values to analyze")
+	}
+	layout, err := f.LayoutFor(model, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	root := rng.New(seed)
+	evalSeed := root.Derive("eval").Uint64()
+	berTh := 0.0
+	var curve []RatePoint
+	for i, rate := range rates {
+		profile, err := errmodel.UniformProfile(f.Geom, rate, f.DeviceSeed)
+		if err != nil {
+			return 0, nil, err
+		}
+		acc := f.EvaluateUnderErrors(model, test, layout, profile,
+			root.DeriveIndex("inject", i).Uint64(), evalSeed)
+		curve = append(curve, RatePoint{BER: rate, Acc: acc})
+		if acc >= baselineAcc-accBound {
+			berTh = rate
+		}
+	}
+	return berTh, curve, nil
+}
+
+// ProfileAt characterizes the simulated device at a supply voltage
+// (per-subarray BERs with the framework's spread and device seed).
+func (f *Framework) ProfileAt(v float64) (*errmodel.Profile, error) {
+	return errmodel.NewProfile(f.Geom, f.Circuit, v, f.Spread, f.DeviceSeed)
+}
+
+// MapModel performs the Sec. IV-D step: at supply voltage v, mark the
+// subarrays whose error rate exceeds berTh as unsafe and place the
+// model's weights with Algorithm 2. It returns the layout and profile.
+func (f *Framework) MapModel(net *snn.Network, v, berTh float64) (*mapping.Layout, *errmodel.Profile, error) {
+	profile, err := f.ProfileAt(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	safe := profile.SafeSubarrays(berTh)
+	layout, err := f.LayoutFor(net, safe)
+	if err != nil {
+		return nil, nil, err
+	}
+	return layout, profile, nil
+}
+
+// MapWeightsAdaptive maps a weight image of the given size at supply
+// voltage v, relaxing the BER threshold (doubling it) until the safe
+// subarrays can hold the image. It returns the layout, the profile, and
+// the effective threshold actually used. This mirrors what a deployment
+// would do when the tolerance analysis yields a threshold stricter than
+// the device can satisfy for the required capacity.
+func (f *Framework) MapWeightsAdaptive(weightCount int, v, berTh float64) (*mapping.Layout, *errmodel.Profile, float64, error) {
+	profile, err := f.ProfileAt(v)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	th := berTh
+	if th <= 0 {
+		th = 1e-12
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		layout, err := f.LayoutForWeights(weightCount, profile.SafeSubarrays(th))
+		if err == nil {
+			return layout, profile, th, nil
+		}
+		if !errors.Is(err, mapping.ErrInsufficientSafeCapacity) {
+			return nil, nil, 0, err
+		}
+		th *= 2
+	}
+	return nil, nil, 0, fmt.Errorf("core: device cannot hold %d weights even with a relaxed threshold", weightCount)
+}
+
+// EnergyResult is the outcome of one energy/performance evaluation.
+type EnergyResult struct {
+	Voltage   float64
+	Policy    string
+	Stats     memctrl.Stats
+	Breakdown power.Breakdown
+}
+
+// TotalMJ returns the DRAM energy of the replayed inference in mJ.
+func (e EnergyResult) TotalMJ() float64 { return e.Breakdown.TotalMJ() }
+
+// String summarizes the result.
+func (e EnergyResult) String() string {
+	return fmt.Sprintf("%s @ %.3fV: %.4f mJ, %s", e.Policy, e.Voltage, e.TotalMJ(), e.Stats)
+}
+
+// EvaluateEnergy replays one inference weight-streaming pass over the
+// layout at supply voltage v and integrates DRAM energy: the controller
+// classifies accesses and counts commands with the voltage-stretched
+// timing, and the power model integrates the tally at the reduced
+// voltage — the Fig. 10 tool-flow (traces + statistics -> DRAMPower).
+func (f *Framework) EvaluateEnergy(layout *mapping.Layout, v float64) (EnergyResult, error) {
+	ctl, err := memctrl.New(f.Geom, f.Circuit.Timing(v))
+	if err != nil {
+		return EnergyResult{}, err
+	}
+	stats := ctl.ReplayReads(layout.AccessStream())
+	return EnergyResult{
+		Voltage:   v,
+		Policy:    layout.Policy,
+		Stats:     stats,
+		Breakdown: f.Power.Energy(stats.Tally, v),
+	}, nil
+}
+
+// RunConfig drives the end-to-end pipeline for one network size and
+// dataset (everything Fig. 7 takes as input).
+type RunConfig struct {
+	Neurons     int
+	Flavor      dataset.Flavor
+	TrainN      int
+	TestN       int
+	BaseEpochs  int
+	Train       TrainConfig
+	Voltage     float64 // approximate-DRAM supply voltage
+	NetworkSeed uint64
+}
+
+// DefaultRunConfig returns a laptop-fast end-to-end configuration.
+func DefaultRunConfig(neurons int) RunConfig {
+	return RunConfig{
+		Neurons:     neurons,
+		Flavor:      dataset.MNISTLike,
+		TrainN:      300,
+		TestN:       128,
+		BaseEpochs:  2,
+		Train:       DefaultTrainConfig(),
+		Voltage:     voltscale.V1025,
+		NetworkSeed: 1,
+	}
+}
+
+// RunResult is the outcome of the full pipeline.
+type RunResult struct {
+	Baseline    *snn.Network
+	Improved    *snn.Network
+	BaselineAcc float64
+	ImprovedAcc float64 // under errors at the run voltage, SparkXD mapping
+	BERth       float64
+	Curve       []RatePoint
+	// Energy at nominal voltage with baseline mapping vs run voltage
+	// with SparkXD mapping (the Fig. 12(a) comparison).
+	EnergyBaseline EnergyResult
+	EnergySparkXD  EnergyResult
+	// Speedup is baseline makespan / SparkXD makespan (Fig. 12(b)).
+	Speedup float64
+}
+
+// EnergySavings returns the fractional DRAM energy saving of SparkXD.
+func (r *RunResult) EnergySavings() float64 {
+	base := r.EnergyBaseline.TotalMJ()
+	if base == 0 {
+		return 0
+	}
+	return 1 - r.EnergySparkXD.TotalMJ()/base
+}
+
+// Run executes the whole SparkXD pipeline: train a baseline SNN, improve
+// its error tolerance (Algorithm 1), analyze the maximum tolerable BER,
+// map the improved model with Algorithm 2 at the requested voltage, and
+// evaluate accuracy, energy, and throughput.
+func (f *Framework) Run(cfg RunConfig) (*RunResult, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	dcfg := dataset.DefaultConfig(cfg.Flavor)
+	dcfg.Train, dcfg.Test = cfg.TrainN, cfg.TestN
+	train, test, err := dataset.Generate(dcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Baseline SNN trained without DRAM errors.
+	netCfg := snn.DefaultConfig(cfg.Neurons)
+	baseline, err := snn.New(netCfg, rng.New(cfg.NetworkSeed))
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.NetworkSeed).Derive("run")
+	for e := 0; e < cfg.BaseEpochs; e++ {
+		baseline.TrainEpoch(train, root.DeriveIndex("base-epoch", e))
+	}
+	baseline.AssignLabels(train, root.Derive("base-assign"))
+
+	// Phase 1: fault-aware training (Algorithm 1).
+	tr, err := f.ImproveErrorTolerance(baseline, train, test, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: tolerance analysis on the improved model.
+	berTh, curve, err := f.AnalyzeErrorTolerance(tr.Model, test, cfg.Train.Rates,
+		tr.BaselineAcc, cfg.Train.AccBound, cfg.Train.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: DRAM mapping at the target voltage.
+	layout, profile, err := f.MapModel(tr.Model, cfg.Voltage, berTh)
+	if err != nil {
+		return nil, err
+	}
+	baseLayout, err := f.LayoutFor(baseline, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Evaluations.
+	improvedAcc := f.EvaluateUnderErrors(tr.Model, test, layout, profile,
+		cfg.Train.Seed+2, cfg.Train.Seed+3)
+	eBase, err := f.EvaluateEnergy(baseLayout, voltscale.VNominal)
+	if err != nil {
+		return nil, err
+	}
+	eSpark, err := f.EvaluateEnergy(layout, cfg.Voltage)
+	if err != nil {
+		return nil, err
+	}
+	speedup := 1.0
+	if eSpark.Stats.TotalNs > 0 {
+		// Throughput comparison at matched (nominal) timing isolates the
+		// mapping effect, as in Fig. 12(b).
+		eSparkNominal, err := f.EvaluateEnergy(layout, voltscale.VNominal)
+		if err != nil {
+			return nil, err
+		}
+		speedup = eBase.Stats.TotalNs / eSparkNominal.Stats.TotalNs
+	}
+
+	return &RunResult{
+		Baseline:       baseline,
+		Improved:       tr.Model,
+		BaselineAcc:    tr.BaselineAcc,
+		ImprovedAcc:    improvedAcc,
+		BERth:          berTh,
+		Curve:          curve,
+		EnergyBaseline: eBase,
+		EnergySparkXD:  eSpark,
+		Speedup:        speedup,
+	}, nil
+}

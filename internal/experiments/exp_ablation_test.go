@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationMapping(t *testing.T) {
+	r := tinyRunner()
+	res, err := r.AblationMapping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 3 {
+		t.Fatal("expected three policies")
+	}
+	// Only SparkXD avoids unsafe subarrays entirely.
+	if res.UnsafeHit[2] != 0 {
+		t.Errorf("sparkxd placed %d accesses in unsafe subarrays", res.UnsafeHit[2])
+	}
+	// The unfiltered layouts necessarily touch unsafe subarrays at 1.025V
+	// (most of the device is above BERth there).
+	if res.UnsafeHit[0] == 0 && res.UnsafeHit[1] == 0 {
+		t.Error("baseline/interleaved should touch unsafe subarrays at 1.025V")
+	}
+	// Interleaving (with or without safety) must not be slower than the
+	// sequential baseline.
+	if res.Makespan[1] > res.Makespan[0] || res.Makespan[2] > res.Makespan[0] {
+		t.Error("interleaved layouts must not be slower than sequential")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Algorithm 2") {
+		t.Error("render missing policies")
+	}
+}
+
+func TestAblationErrModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training ablation skipped in -short mode")
+	}
+	r := tinyRunner()
+	res, err := r.AblationErrModels(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 4 {
+		t.Fatal("expected four EDEN models")
+	}
+	for i, acc := range res.Accuracy {
+		if acc < 0 || acc > 1 {
+			t.Fatalf("model %s accuracy %v out of range", res.Models[i], acc)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "model0-uniform") {
+		t.Error("render missing model names")
+	}
+}
+
+func TestAblationCoding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training ablation skipped in -short mode")
+	}
+	r := tinyRunner()
+	res, err := r.AblationCoding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Encoders) != 5 {
+		t.Fatal("expected five encoders")
+	}
+	// The paper's choice (Poisson rate coding) must be competitive: within
+	// 20pp of the best encoder on clean data.
+	best := 0.0
+	for _, a := range res.CleanAcc {
+		if a > best {
+			best = a
+		}
+	}
+	if res.CleanAcc[0] < best-0.20 {
+		t.Errorf("rate coding (%.2f) far below best encoder (%.2f)", res.CleanAcc[0], best)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "rate-poisson") {
+		t.Error("render missing encoder names")
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sparkxd/internal/dataset"
+	"sparkxd/internal/errmodel"
+	"sparkxd/internal/report"
+	"sparkxd/internal/rng"
+)
+
+// CurveSet is one panel of Fig. 11 (and the whole of Fig. 8): the
+// accuracy of the three configurations across the BER sweep for one
+// network size and dataset.
+type CurveSet struct {
+	Size   int
+	Flavor dataset.Flavor
+	// BaselineAcc is the baseline SNN with accurate DRAM (flat line).
+	BaselineAcc float64
+	// MinTarget is the user constraint: BaselineAcc - 1%.
+	MinTarget float64
+	BERs      []float64
+	// BaselineApprox is the baseline SNN evaluated under approximate-DRAM
+	// errors at each BER.
+	BaselineApprox []float64
+	// Improved is the SparkXD fault-aware-trained SNN under the same errors.
+	Improved []float64
+	// BERth is the maximum tolerable BER of the improved model.
+	BERth float64
+}
+
+// curveSet evaluates the three Fig. 11 curves for one (size, flavour).
+func (r *Runner) curveSet(size int, fl dataset.Flavor) (CurveSet, error) {
+	pair, err := r.Pair(size, fl)
+	if err != nil {
+		return CurveSet{}, err
+	}
+	_, test, err := r.Data(fl)
+	if err != nil {
+		return CurveSet{}, err
+	}
+	layout, err := r.F.LayoutFor(pair.Baseline, nil)
+	if err != nil {
+		return CurveSet{}, err
+	}
+	cs := CurveSet{
+		Size:   size,
+		Flavor: fl,
+		BERs:   r.Opts.BERs(),
+	}
+	evalSeed := rng.New(r.Opts.Seed).Derive("curve-eval").Uint64()
+	// The accurate-DRAM flat line is evaluated on the same spike trains
+	// as the curve points (paired), so differences reflect only the
+	// injected errors, not encoder noise.
+	zero, err := errmodel.UniformProfile(r.F.Geom, 0, r.F.DeviceSeed)
+	if err != nil {
+		return cs, err
+	}
+	cs.BaselineAcc = r.F.EvaluateUnderErrors(pair.Baseline, test, layout, zero, 1, evalSeed)
+	cs.MinTarget = cs.BaselineAcc - 0.01
+	for i, ber := range cs.BERs {
+		profile, err := errmodel.UniformProfile(r.F.Geom, ber, r.F.DeviceSeed)
+		if err != nil {
+			return cs, err
+		}
+		injSeed := rng.New(r.Opts.Seed).DeriveIndex("curve-inject", i).Uint64()
+		cs.BaselineApprox = append(cs.BaselineApprox,
+			r.F.EvaluateUnderErrors(pair.Baseline, test, layout, profile, injSeed, evalSeed))
+		cs.Improved = append(cs.Improved,
+			r.F.EvaluateUnderErrors(pair.Improved, test, layout, profile, injSeed, evalSeed))
+	}
+	berTh, _, err := r.F.AnalyzeErrorTolerance(pair.Improved, test, cs.BERs,
+		cs.BaselineAcc, 0.01, r.Opts.Seed+99)
+	if err != nil {
+		return cs, err
+	}
+	cs.BERth = berTh
+	return cs, nil
+}
+
+// Render writes one curve set as a table plus chart.
+func (cs CurveSet) Render(w io.Writer) {
+	title := fmt.Sprintf("N%d on %s: accuracy vs BER (baseline acc %.1f%%, BERth %.0e)",
+		cs.Size, cs.Flavor, cs.BaselineAcc*100, cs.BERth)
+	tb := report.NewTable(title, "BER",
+		"baseline + accurate DRAM", "baseline + approx DRAM", "improved + approx DRAM (SparkXD)")
+	for i, ber := range cs.BERs {
+		tb.AddRow(fmt.Sprintf("%.0e", ber),
+			report.Pct(cs.BaselineAcc),
+			report.Pct(cs.BaselineApprox[i]),
+			report.Pct(cs.Improved[i]))
+	}
+	tb.Render(w)
+	ch := report.NewChart(title, "BER", "accuracy")
+	ch.LogX = true
+	flat := make([]float64, len(cs.BERs))
+	target := make([]float64, len(cs.BERs))
+	for i := range flat {
+		flat[i] = cs.BaselineAcc
+		target[i] = cs.MinTarget
+	}
+	ch.Add("baseline accurate", cs.BERs, flat)
+	ch.Add("baseline approx", cs.BERs, cs.BaselineApprox)
+	ch.Add("improved approx", cs.BERs, cs.Improved)
+	ch.Add("min target", cs.BERs, target)
+	ch.Render(w)
+}
+
+// Fig8Result is the error-tolerance analysis of Fig. 8 (N900 on the
+// Fashion flavour): the tolerance curve and the selected BERth.
+type Fig8Result struct {
+	Curve CurveSet
+}
+
+// Fig8 runs the N900 Fashion tolerance analysis (N400 in quick mode).
+func (r *Runner) Fig8() (Fig8Result, error) {
+	size := 900
+	if r.Opts.Quick {
+		size = 400
+	}
+	if s := r.Opts.OverrideSizes; len(s) > 0 {
+		size = s[len(s)-1]
+	}
+	cs, err := r.curveSet(size, dataset.FashionLike)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	return Fig8Result{Curve: cs}, nil
+}
+
+// Render writes the figure.
+func (res Fig8Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 8: error-tolerance analysis for devising the DRAM mapping")
+	res.Curve.Render(w)
+	fmt.Fprintf(w, "maximum tolerable BER (BERth) = %.0e; errors at or below this rate keep accuracy within 1%%\n",
+		res.Curve.BERth)
+}
+
+// Fig11Result is the full accuracy grid of Fig. 11: all network sizes,
+// both datasets, three configurations per panel.
+type Fig11Result struct {
+	Panels []CurveSet
+}
+
+// Fig11 evaluates every (size, flavour) panel, in parallel.
+func (r *Runner) Fig11() (Fig11Result, error) {
+	sizes := r.Opts.Sizes()
+	flavors := []dataset.Flavor{dataset.MNISTLike, dataset.FashionLike}
+	panels := make([]CurveSet, len(sizes)*len(flavors))
+	err := parallelFor(len(panels), func(i int) error {
+		size := sizes[i%len(sizes)]
+		fl := flavors[i/len(sizes)]
+		cs, err := r.curveSet(size, fl)
+		if err != nil {
+			return err
+		}
+		panels[i] = cs
+		return nil
+	})
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	return Fig11Result{Panels: panels}, nil
+}
+
+// Render writes every panel plus a compliance summary.
+func (res Fig11Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 11: accuracy across BER values, network sizes, and datasets")
+	ok, total := 0, 0
+	for _, cs := range res.Panels {
+		cs.Render(w)
+		for _, acc := range cs.Improved {
+			total++
+			if acc >= cs.MinTarget {
+				ok++
+			}
+		}
+	}
+	fmt.Fprintf(w, "improved-SNN points meeting the 1%% target: %d/%d\n", ok, total)
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"io"
+
+	"sparkxd/internal/report"
+	"sparkxd/internal/voltscale"
+)
+
+// Fig2cResult is the BER-vs-supply-voltage characterization (Fig. 2(c)).
+type Fig2cResult struct {
+	Voltage []float64
+	BER     []float64
+}
+
+// Fig2c sweeps the supply voltage and reports the raw device BER.
+func (r *Runner) Fig2c() Fig2cResult {
+	var res Fig2cResult
+	for v := 1.025; v <= 1.3501; v += 0.025 {
+		res.Voltage = append(res.Voltage, v)
+		res.BER = append(res.BER, r.F.Circuit.BER(v))
+	}
+	return res
+}
+
+// Render writes the figure as a table and chart.
+func (res Fig2cResult) Render(w io.Writer) {
+	tb := report.NewTable("Fig. 2(c): bit error rate vs DRAM supply voltage", "Vsupply [V]", "BER")
+	var xs, ys []float64
+	for i := range res.Voltage {
+		tb.AddRow(res.Voltage[i], res.BER[i])
+		if res.BER[i] > 0 {
+			xs = append(xs, res.Voltage[i])
+			ys = append(ys, log10(res.BER[i]))
+		}
+	}
+	tb.Render(w)
+	ch := report.NewChart("BER grows as supply voltage decreases", "Vsupply [V]", "log10(BER)")
+	ch.Add("BER", xs, ys)
+	ch.Render(w)
+}
+
+// Fig2dResult is the array-voltage dynamics comparison (Fig. 2(d)):
+// nominal vs most-aggressive supply voltage.
+type Fig2dResult struct {
+	TimeNs   []float64
+	VNominal []float64
+	VReduced []float64
+}
+
+// Fig2d samples Varray(t) for an ACT at t=0 and PRE at t=40 ns.
+func (r *Runner) Fig2d() Fig2dResult {
+	const preAt, dt, total = 40.0, 2.0, 80.0
+	hi := r.F.Circuit.ActivatePrechargeWaveform(voltscale.VNominal, preAt, dt, total)
+	lo := r.F.Circuit.ActivatePrechargeWaveform(voltscale.V1025, preAt, dt, total)
+	var res Fig2dResult
+	for i := range hi {
+		res.TimeNs = append(res.TimeNs, hi[i].TimeNs)
+		res.VNominal = append(res.VNominal, hi[i].Varray)
+		res.VReduced = append(res.VReduced, lo[i].Varray)
+	}
+	return res
+}
+
+// Render writes the waveform chart.
+func (res Fig2dResult) Render(w io.Writer) {
+	ch := report.NewChart("Fig. 2(d): DRAM array voltage dynamics (ACT @0ns, PRE @40ns)",
+		"time [ns]", "Varray [V]")
+	ch.Add("1.350V", res.TimeNs, res.VNominal)
+	ch.Add("1.025V", res.TimeNs, res.VReduced)
+	ch.Render(w)
+}
+
+// Fig6Result characterizes Varray and the timing parameters across the
+// paper's six supply voltages (Fig. 6).
+type Fig6Result struct {
+	Voltages  []float64
+	TRCD      []float64
+	TRAS      []float64
+	TRP       []float64
+	Waveforms [][]voltscale.WaveformPoint
+}
+
+// Fig6 runs the timing characterization.
+func (r *Runner) Fig6() Fig6Result {
+	var res Fig6Result
+	// The paper's Fig. 6 sweeps 1.35V down to 1.10V; include 1.025V too
+	// since the rest of the evaluation uses it.
+	voltages := voltscale.PaperVoltages()
+	for _, v := range voltages {
+		res.Voltages = append(res.Voltages, v)
+		res.TRCD = append(res.TRCD, r.F.Circuit.TRCD(v))
+		res.TRAS = append(res.TRAS, r.F.Circuit.TRAS(v))
+		res.TRP = append(res.TRP, r.F.Circuit.TRP(v))
+		res.Waveforms = append(res.Waveforms,
+			r.F.Circuit.ActivatePrechargeWaveform(v, 50, 2, 80))
+	}
+	return res
+}
+
+// Render writes the timing table and a combined waveform chart.
+func (res Fig6Result) Render(w io.Writer) {
+	tb := report.NewTable("Fig. 6: voltage-dependent DRAM timing parameters",
+		"Vsupply [V]", "tRCD [ns]", "tRAS [ns]", "tRP [ns]")
+	for i := range res.Voltages {
+		tb.AddRow(res.Voltages[i], res.TRCD[i], res.TRAS[i], res.TRP[i])
+	}
+	tb.Render(w)
+	ch := report.NewChart("Varray(t) across supply voltages (ACT @0ns, PRE @50ns)",
+		"time [ns]", "Varray [V]")
+	for i, wf := range res.Waveforms {
+		var xs, ys []float64
+		for _, p := range wf {
+			xs = append(xs, p.TimeNs)
+			ys = append(ys, p.Varray)
+		}
+		ch.Add(formatV(res.Voltages[i]), xs, ys)
+	}
+	ch.Render(w)
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sparkxd/internal/dataset"
+	"sparkxd/internal/dram"
+	"sparkxd/internal/power"
+	"sparkxd/internal/report"
+	"sparkxd/internal/voltscale"
+)
+
+// Fig12aResult is the DRAM access energy per inference across supply
+// voltages and network sizes (Fig. 12(a)).
+type Fig12aResult struct {
+	Sizes    []int
+	Voltages []float64 // reduced voltages (SparkXD points)
+	// BaselineMJ[i] is the baseline SNN + accurate DRAM energy of size i.
+	BaselineMJ []float64
+	// SparkXDMJ[i][j] is the improved SNN + approximate DRAM energy of
+	// size i at voltage j.
+	SparkXDMJ [][]float64
+	// MeanSavings[j] is the average saving across sizes at voltage j.
+	MeanSavings []float64
+	// PaperMeanSavings are the values the paper reports for the same
+	// voltages (3.84, 13.33, 22.69, 31.12, 39.46 %).
+	PaperMeanSavings []float64
+}
+
+// fig12BERth is the tolerable BER assumed for mapping in the energy
+// experiments (the improved models tolerate ~1e-3, Fig. 11).
+const fig12BERth = 1e-3
+
+// Fig12a evaluates the energy matrix.
+func (r *Runner) Fig12a() (Fig12aResult, error) {
+	res := Fig12aResult{
+		Sizes:            r.Opts.Sizes(),
+		Voltages:         voltscale.ReducedVoltages(),
+		PaperMeanSavings: []float64{0.0384, 0.1333, 0.2269, 0.3112, 0.3946},
+	}
+	sums := make([]float64, len(res.Voltages))
+	for _, size := range res.Sizes {
+		weights := dataset.Pixels * size
+		baseLayout, err := r.F.LayoutForWeights(weights, nil)
+		if err != nil {
+			return res, err
+		}
+		eBase, err := r.F.EvaluateEnergy(baseLayout, voltscale.VNominal)
+		if err != nil {
+			return res, err
+		}
+		res.BaselineMJ = append(res.BaselineMJ, eBase.TotalMJ())
+		var row []float64
+		for j, v := range res.Voltages {
+			layout, _, _, err := r.F.MapWeightsAdaptive(weights, v, fig12BERth)
+			if err != nil {
+				return res, err
+			}
+			e, err := r.F.EvaluateEnergy(layout, v)
+			if err != nil {
+				return res, err
+			}
+			row = append(row, e.TotalMJ())
+			sums[j] += 1 - e.TotalMJ()/eBase.TotalMJ()
+		}
+		res.SparkXDMJ = append(res.SparkXDMJ, row)
+	}
+	for _, s := range sums {
+		res.MeanSavings = append(res.MeanSavings, s/float64(len(res.Sizes)))
+	}
+	return res, nil
+}
+
+// Render writes the energy matrix and the savings summary.
+func (res Fig12aResult) Render(w io.Writer) {
+	headers := []string{"network", "1.350V base [mJ]"}
+	for _, v := range res.Voltages {
+		headers = append(headers, formatV(v)+" [mJ]")
+	}
+	tb := report.NewTable("Fig. 12(a): DRAM access energy per inference", headers...)
+	for i, size := range res.Sizes {
+		cells := []interface{}{fmt.Sprintf("N%d", size), res.BaselineMJ[i]}
+		for _, e := range res.SparkXDMJ[i] {
+			cells = append(cells, e)
+		}
+		tb.AddRow(cells...)
+	}
+	tb.Render(w)
+
+	sm := report.NewTable("mean DRAM energy savings vs baseline (accurate DRAM)",
+		"Vsupply", "this repro", "paper")
+	for j, v := range res.Voltages {
+		sm.AddRow(formatV(v), report.Pct(res.MeanSavings[j]), report.Pct(res.PaperMeanSavings[j]))
+	}
+	sm.Render(w)
+}
+
+// Fig12bResult is the throughput comparison of Fig. 12(b): SparkXD
+// mapping vs baseline mapping, same timing, per network size.
+type Fig12bResult struct {
+	Sizes      []int
+	BaselineNs []float64
+	SparkXDNs  []float64
+	Speedup    []float64
+}
+
+// Fig12b measures the speed-up of the SparkXD mapping.
+func (r *Runner) Fig12b() (Fig12bResult, error) {
+	res := Fig12bResult{Sizes: r.Opts.Sizes()}
+	for _, size := range res.Sizes {
+		weights := dataset.Pixels * size
+		baseLayout, err := r.F.LayoutForWeights(weights, nil)
+		if err != nil {
+			return res, err
+		}
+		sparkLayout, _, _, err := r.F.MapWeightsAdaptive(weights, voltscale.V1025, fig12BERth)
+		if err != nil {
+			return res, err
+		}
+		eb, err := r.F.EvaluateEnergy(baseLayout, voltscale.VNominal)
+		if err != nil {
+			return res, err
+		}
+		es, err := r.F.EvaluateEnergy(sparkLayout, voltscale.VNominal)
+		if err != nil {
+			return res, err
+		}
+		res.BaselineNs = append(res.BaselineNs, eb.Stats.TotalNs)
+		res.SparkXDNs = append(res.SparkXDNs, es.Stats.TotalNs)
+		res.Speedup = append(res.Speedup, eb.Stats.TotalNs/es.Stats.TotalNs)
+	}
+	return res, nil
+}
+
+// Render writes the speed-up table.
+func (res Fig12bResult) Render(w io.Writer) {
+	tb := report.NewTable("Fig. 12(b): speed-up of the SparkXD mapping over the baseline mapping",
+		"network", "baseline [us]", "SparkXD [us]", "speed-up")
+	var mean float64
+	for i, size := range res.Sizes {
+		tb.AddRow(fmt.Sprintf("N%d", size),
+			res.BaselineNs[i]/1000, res.SparkXDNs[i]/1000,
+			fmt.Sprintf("%.3fx", res.Speedup[i]))
+		mean += res.Speedup[i]
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "mean speed-up: %.3fx (paper: 1.02x)\n", mean/float64(len(res.Sizes)))
+}
+
+// TableIResult compares per-access energy savings against Table I.
+type TableIResult struct {
+	Voltages []float64
+	Model    []float64
+	Paper    []float64
+}
+
+// TableI evaluates the per-access (row-hit) savings at each voltage.
+func (r *Runner) TableI() TableIResult {
+	paper := power.PaperTableISavings()
+	res := TableIResult{}
+	for _, v := range voltscale.ReducedVoltages() {
+		res.Voltages = append(res.Voltages, v)
+		res.Model = append(res.Model, r.F.Power.AccessSavings(dram.AccessHit, v))
+		res.Paper = append(res.Paper, paper[v])
+	}
+	return res
+}
+
+// Render writes the comparison table.
+func (res TableIResult) Render(w io.Writer) {
+	tb := report.NewTable("Table I: DRAM energy-per-access savings vs supply voltage",
+		"Vsupply", "this repro", "paper")
+	for i := range res.Voltages {
+		tb.AddRow(formatV(res.Voltages[i]), report.Pct(res.Model[i]), report.Pct(res.Paper[i]))
+	}
+	tb.Render(w)
+}

@@ -1,0 +1,10 @@
+package experiments
+
+import "sparkxd/internal/dataset"
+
+// CurveSetPublic exposes curveSet for calibration probes and the
+// fault-aware training example; it is part of the public surface because
+// downstream users plot exactly these curves for their own models.
+func (r *Runner) CurveSetPublic(size int, fl dataset.Flavor) (CurveSet, error) {
+	return r.curveSet(size, fl)
+}

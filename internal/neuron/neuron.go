@@ -1,0 +1,179 @@
+// Package neuron implements the Leaky Integrate-and-Fire (LIF) neuron
+// pool with adaptive thresholds used by the SNN architecture of the paper
+// (Fig. 4(b)): the membrane potential rises when presynaptic input
+// arrives, decays exponentially otherwise, fires a postsynaptic spike on
+// reaching the threshold, then resets and enters a refractory period.
+//
+// The adaptive threshold (theta) implements the homeostasis of
+// Diehl&Cook-style unsupervised SNNs: every spike raises the neuron's own
+// threshold by ThetaPlus, and theta decays slowly, forcing neurons to
+// take turns and specialize instead of a few neurons dominating.
+package neuron
+
+import (
+	"errors"
+	"math"
+)
+
+// LIFConfig parameterizes a pool of LIF neurons. Times are in
+// milliseconds; potentials are in arbitrary membrane units.
+type LIFConfig struct {
+	N               int     // number of neurons
+	DT              float64 // simulation timestep (ms)
+	TauM            float64 // membrane time constant (ms)
+	VRest           float32 // resting potential
+	VReset          float32 // post-spike reset potential
+	VTh             float32 // base firing threshold
+	ThetaPlus       float32 // adaptive threshold increment per spike
+	TauTheta        float64 // adaptive threshold decay constant (ms)
+	RefractorySteps int     // steps a neuron stays silent after a spike
+	VFloor          float32 // lower clamp for inhibition-driven potentials
+}
+
+// DefaultLIF returns the configuration used by the experiments.
+func DefaultLIF(n int) LIFConfig {
+	return LIFConfig{
+		N:               n,
+		DT:              1.0,
+		TauM:            20.0,
+		VRest:           0.0,
+		VReset:          0.0,
+		VTh:             10.0,
+		ThetaPlus:       0.25,
+		TauTheta:        4000.0,
+		RefractorySteps: 2,
+		VFloor:          -10.0,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c LIFConfig) Validate() error {
+	switch {
+	case c.N <= 0:
+		return errors.New("neuron: N must be positive")
+	case c.DT <= 0 || c.TauM <= 0 || c.TauTheta <= 0:
+		return errors.New("neuron: time constants must be positive")
+	case c.VTh <= c.VReset:
+		return errors.New("neuron: threshold must exceed reset potential")
+	case c.RefractorySteps < 0:
+		return errors.New("neuron: negative refractory period")
+	case c.ThetaPlus < 0:
+		return errors.New("neuron: negative theta increment")
+	}
+	return nil
+}
+
+// Pool is a vectorized population of LIF neurons. Create with NewPool.
+type Pool struct {
+	Cfg LIFConfig
+
+	V      []float32 // membrane potentials
+	Theta  []float32 // adaptive threshold offsets
+	refrac []int16   // remaining refractory steps
+
+	decayV     float32 // exp(-dt/tauM)
+	decayTheta float32 // exp(-dt/tauTheta)
+}
+
+// NewPool allocates a pool at resting state.
+func NewPool(cfg LIFConfig) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		Cfg:        cfg,
+		V:          make([]float32, cfg.N),
+		Theta:      make([]float32, cfg.N),
+		refrac:     make([]int16, cfg.N),
+		decayV:     float32(math.Exp(-cfg.DT / cfg.TauM)),
+		decayTheta: float32(math.Exp(-cfg.DT / cfg.TauTheta)),
+	}
+	for i := range p.V {
+		p.V[i] = cfg.VRest
+	}
+	return p, nil
+}
+
+// ResetState returns membranes and refractory counters to rest without
+// touching the adaptive thresholds (theta persists across samples, which
+// is what makes homeostasis work across a training run).
+func (p *Pool) ResetState() {
+	for i := range p.V {
+		p.V[i] = p.Cfg.VRest
+		p.refrac[i] = 0
+	}
+}
+
+// ResetAll additionally clears the adaptive thresholds.
+func (p *Pool) ResetAll() {
+	p.ResetState()
+	for i := range p.Theta {
+		p.Theta[i] = 0
+	}
+}
+
+// Step advances the pool one timestep. input[j] is the synaptic drive
+// accumulated for neuron j this step. spikesOut is an optional reusable
+// buffer; the returned slice lists the indices of neurons that fired.
+func (p *Pool) Step(input []float32, spikesOut []int32) []int32 {
+	if len(input) != p.Cfg.N {
+		panic("neuron: input length mismatch")
+	}
+	spikes := spikesOut[:0]
+	rest := p.Cfg.VRest
+	for j := range p.V {
+		// Theta decays every step regardless of refractory state.
+		p.Theta[j] *= p.decayTheta
+
+		if p.refrac[j] > 0 {
+			p.refrac[j]--
+			p.V[j] = p.Cfg.VReset
+			continue
+		}
+		// Exponential leak toward rest, then integrate input.
+		v := rest + (p.V[j]-rest)*p.decayV + input[j]
+		if v < p.Cfg.VFloor {
+			v = p.Cfg.VFloor
+		}
+		if v >= p.Cfg.VTh+p.Theta[j] {
+			spikes = append(spikes, int32(j))
+			v = p.Cfg.VReset
+			p.refrac[j] = int16(p.Cfg.RefractorySteps)
+			p.Theta[j] += p.Cfg.ThetaPlus
+		}
+		p.V[j] = v
+	}
+	return spikes
+}
+
+// Inhibit applies lateral inhibition: every neuron except those listed in
+// winners has `strength` subtracted from its membrane (clamped at VFloor).
+// This is the paper's Fig. 4(a) inhibitory feedback loop, collapsed to
+// its effective one-step form (exc -> inh -> exc with one-to-one
+// excitation and all-to-others inhibition).
+func (p *Pool) Inhibit(winners []int32, strength float32) {
+	if len(winners) == 0 || strength == 0 {
+		return
+	}
+	isWinner := func(j int) bool {
+		for _, w := range winners {
+			if int(w) == j {
+				return true
+			}
+		}
+		return false
+	}
+	for j := range p.V {
+		if isWinner(j) {
+			continue
+		}
+		v := p.V[j] - strength*float32(len(winners))
+		if v < p.Cfg.VFloor {
+			v = p.Cfg.VFloor
+		}
+		p.V[j] = v
+	}
+}
+
+// ThresholdOf returns the effective threshold of neuron j.
+func (p *Pool) ThresholdOf(j int) float32 { return p.Cfg.VTh + p.Theta[j] }

@@ -1,0 +1,261 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatMetadata(t *testing.T) {
+	if FP32.BytesPerWeight() != 4 || FP16.BytesPerWeight() != 2 || Q88.BytesPerWeight() != 2 {
+		t.Fatal("BytesPerWeight wrong")
+	}
+	if FP32.String() != "fp32" || FP16.String() != "fp16" || Q88.String() != "q8.8" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestImageSizePadding(t *testing.T) {
+	if FP32.ImageSize(10, 0) != 40 {
+		t.Error("unpadded size wrong")
+	}
+	if FP32.ImageSize(10, 32) != 64 {
+		t.Error("padded size should round up to 64")
+	}
+	if FP32.ImageSize(8, 32) != 32 {
+		t.Error("exact multiple should not pad")
+	}
+}
+
+func TestFP32Roundtrip(t *testing.T) {
+	w := []float32{0, 1, -1, 0.5, 1e-20, 3.14159, float32(math.MaxFloat32)}
+	img := make([]byte, FP32.ImageSize(len(w), 0))
+	if err := Serialize(w, FP32, img); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, len(w))
+	if err := Deserialize(img, FP32, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if w[i] != out[i] {
+			t.Errorf("fp32 roundtrip [%d]: %v != %v", i, w[i], out[i])
+		}
+	}
+}
+
+func TestFP16RoundtripApprox(t *testing.T) {
+	w := []float32{0, 1, -1, 0.5, 0.25, 0.333, 100, -7.75}
+	img := make([]byte, FP16.ImageSize(len(w), 0))
+	if err := Serialize(w, FP16, img); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, len(w))
+	if err := Deserialize(img, FP16, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		rel := math.Abs(float64(out[i] - w[i]))
+		if w[i] != 0 {
+			rel /= math.Abs(float64(w[i]))
+		}
+		if rel > 1e-3 {
+			t.Errorf("fp16 roundtrip [%d]: %v -> %v (rel %v)", i, w[i], out[i], rel)
+		}
+	}
+}
+
+func TestFP16Special(t *testing.T) {
+	w := []float32{float32(math.Inf(1)), float32(math.Inf(-1))}
+	img := make([]byte, 4)
+	if err := Serialize(w, FP16, img); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 2)
+	if err := Deserialize(img, FP16, out); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(out[0]), 1) || !math.IsInf(float64(out[1]), -1) {
+		t.Errorf("fp16 infinities lost: %v", out)
+	}
+}
+
+func TestQ88Roundtrip(t *testing.T) {
+	w := []float32{0, 1, -1, 0.5, 0.00390625 /* 1/256 */, 127.99, -128}
+	img := make([]byte, Q88.ImageSize(len(w), 0))
+	if err := Serialize(w, Q88, img); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, len(w))
+	if err := Deserialize(img, Q88, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if math.Abs(float64(out[i]-w[i])) > 1.0/256+1e-6 {
+			t.Errorf("q8.8 roundtrip [%d]: %v -> %v", i, w[i], out[i])
+		}
+	}
+}
+
+func TestQ88Saturates(t *testing.T) {
+	w := []float32{1e6, -1e6}
+	img := make([]byte, 4)
+	if err := Serialize(w, Q88, img); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 2)
+	_ = Deserialize(img, Q88, out)
+	if out[0] < 127 || out[1] > -127 {
+		t.Errorf("q8.8 saturation failed: %v", out)
+	}
+}
+
+func TestSerializeSizeChecks(t *testing.T) {
+	if Serialize([]float32{1, 2}, FP32, make([]byte, 4)) == nil {
+		t.Error("undersized dst must error")
+	}
+	if Deserialize(make([]byte, 4), FP32, make([]float32, 2)) == nil {
+		t.Error("undersized src must error")
+	}
+}
+
+func TestFlipGetBit(t *testing.T) {
+	img := make([]byte, 4)
+	FlipBit(img, 0)
+	if img[0] != 1 || !GetBit(img, 0) {
+		t.Fatal("bit 0 flip failed")
+	}
+	FlipBit(img, 9)
+	if img[1] != 2 || !GetBit(img, 9) {
+		t.Fatal("bit 9 flip failed")
+	}
+	FlipBit(img, 9)
+	if GetBit(img, 9) {
+		t.Fatal("double flip must restore")
+	}
+}
+
+func TestFlipBitChangesDeserializedWeight(t *testing.T) {
+	w := []float32{1.0}
+	img := make([]byte, 4)
+	_ = Serialize(w, FP32, img)
+	FlipBit(img, 30) // exponent MSB of a little-endian float32
+	out := make([]float32, 1)
+	_ = Deserialize(img, FP32, out)
+	if out[0] == 1.0 {
+		t.Fatal("exponent bit flip must change the value")
+	}
+	if math.Abs(float64(out[0])) <= 1 {
+		t.Errorf("exponent MSB flip of 1.0 should be huge, got %v", out[0])
+	}
+}
+
+func TestCountDiffBits(t *testing.T) {
+	a := []byte{0x00, 0xff}
+	b := []byte{0x01, 0xff}
+	if CountDiffBits(a, b) != 1 {
+		t.Fatal("CountDiffBits wrong")
+	}
+	if CountDiffBits(a, a) != 0 {
+		t.Fatal("identical images must have distance 0")
+	}
+}
+
+func TestCountDiffBitsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	CountDiffBits([]byte{1}, []byte{1, 2})
+}
+
+func TestSanitize(t *testing.T) {
+	w := []float32{0.5, -2, 3, float32(math.NaN()), float32(math.Inf(1))}
+	n := Sanitize(w, 0, 1)
+	if n != 4 {
+		t.Errorf("repaired = %d, want 4", n)
+	}
+	want := []float32{0.5, 0, 1, 0, 0}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Errorf("sanitized[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}
+
+func TestSanitizeNoopOnCleanWeights(t *testing.T) {
+	w := []float32{0, 0.5, 1}
+	if n := Sanitize(w, 0, 1); n != 0 {
+		t.Errorf("clean weights repaired %d times", n)
+	}
+}
+
+// Property: FP32 serialize/deserialize is the identity for finite values.
+func TestFP32RoundtripProperty(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+		img := make([]byte, 4)
+		_ = Serialize([]float32{v}, FP32, img)
+		out := make([]float32, 1)
+		_ = Deserialize(img, FP32, out)
+		return out[0] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping the same bit twice restores the image exactly.
+func TestFlipInvolutionProperty(t *testing.T) {
+	f := func(data []byte, idx uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		img := append([]byte(nil), data...)
+		bit := int64(idx) % int64(len(img)*8)
+		FlipBit(img, bit)
+		FlipBit(img, bit)
+		return CountDiffBits(img, data) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a single flip changes the Hamming distance by exactly one.
+func TestSingleFlipDistanceProperty(t *testing.T) {
+	f := func(data []byte, idx uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		img := append([]byte(nil), data...)
+		FlipBit(img, int64(idx)%int64(len(img)*8))
+		return CountDiffBits(img, data) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FP16 roundtrip is monotone-ish — sign is always preserved.
+func TestFP16SignPreservedProperty(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+		img := make([]byte, 2)
+		_ = Serialize([]float32{v}, FP16, img)
+		out := make([]float32, 1)
+		_ = Deserialize(img, FP16, out)
+		if out[0] == 0 {
+			return true // underflow keeps magnitude info out of scope
+		}
+		return (v < 0) == (out[0] < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

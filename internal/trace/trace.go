@@ -1,0 +1,210 @@
+// Package trace reads and writes DRAM command traces in the text format
+// used by DRAMPower-style tools: one command per line,
+//
+//	<cycle>,<CMD>,<bank>
+//
+// where cycle is the issue time in clock cycles, CMD is ACT / RD / WR /
+// PRE / REF, and bank is the flat bank index. The memory controller's
+// OnCommand hook produces these traces (cmd/dramsim -trace renders a
+// human-readable variant); this package provides the machine-readable
+// round-trip so traces can be archived and replayed into the energy
+// model without re-running the simulation.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sparkxd/internal/dram"
+	"sparkxd/internal/power"
+)
+
+// Entry is one trace line.
+type Entry struct {
+	Cycle int64
+	Kind  dram.CommandKind
+	Bank  int
+}
+
+// Writer streams entries to an io.Writer. Entries must be appended in
+// non-decreasing cycle order; Append enforces this.
+type Writer struct {
+	w         *bufio.Writer
+	lastCycle int64
+	count     int64
+	err       error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), lastCycle: -1}
+}
+
+// Append writes one entry.
+func (tw *Writer) Append(e Entry) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if e.Cycle < tw.lastCycle {
+		tw.err = fmt.Errorf("trace: cycle %d before previous %d", e.Cycle, tw.lastCycle)
+		return tw.err
+	}
+	if e.Bank < 0 {
+		tw.err = fmt.Errorf("trace: negative bank %d", e.Bank)
+		return tw.err
+	}
+	tw.lastCycle = e.Cycle
+	tw.count++
+	_, tw.err = fmt.Fprintf(tw.w, "%d,%s,%d\n", e.Cycle, e.Kind, e.Bank)
+	return tw.err
+}
+
+// Count returns how many entries were appended.
+func (tw *Writer) Count() int64 { return tw.count }
+
+// Flush flushes the underlying buffer.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Hook returns a memctrl.Controller OnCommand callback that appends to
+// the writer, converting nanosecond timestamps to cycles of the given
+// clock period. Geometry is needed to flatten bank IDs.
+//
+// The controller reports per-bank issue times, which can step backwards
+// across banks when row management overlaps a burst elsewhere; the shared
+// command bus serializes them in reality, so the hook clamps each entry
+// to the previous command's cycle.
+func (tw *Writer) Hook(geom dram.Geometry, tckNs float64) func(dram.Command, float64) {
+	return func(cmd dram.Command, atNs float64) {
+		cycle := int64(atNs / tckNs)
+		if cycle < tw.lastCycle {
+			cycle = tw.lastCycle
+		}
+		_ = tw.Append(Entry{
+			Cycle: cycle,
+			Kind:  cmd.Kind,
+			Bank:  cmd.Bank.Linear(geom),
+		})
+	}
+}
+
+// Read parses a full trace.
+func Read(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		e, err := parseLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if len(out) > 0 && e.Cycle < out[len(out)-1].Cycle {
+			return nil, fmt.Errorf("trace: line %d: cycle goes backwards", line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(text string) (Entry, error) {
+	parts := strings.Split(text, ",")
+	if len(parts) != 3 {
+		return Entry{}, fmt.Errorf("want 3 fields, got %d", len(parts))
+	}
+	cycle, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad cycle: %w", err)
+	}
+	kind, err := parseKind(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Entry{}, err
+	}
+	bank, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil || bank < 0 {
+		return Entry{}, fmt.Errorf("bad bank %q", parts[2])
+	}
+	return Entry{Cycle: cycle, Kind: kind, Bank: bank}, nil
+}
+
+func parseKind(s string) (dram.CommandKind, error) {
+	switch s {
+	case "ACT":
+		return dram.CmdACT, nil
+	case "RD":
+		return dram.CmdRD, nil
+	case "WR":
+		return dram.CmdWR, nil
+	case "PRE":
+		return dram.CmdPRE, nil
+	case "REF":
+		return dram.CmdREF, nil
+	default:
+		return 0, fmt.Errorf("unknown command %q", s)
+	}
+}
+
+// Tally folds a trace into the command counts the energy model consumes,
+// attributing the makespan (in ns, from the cycle span and clock period)
+// to active-standby residency the way the live controller does.
+func Tally(entries []Entry, tckNs float64) power.Tally {
+	var t power.Tally
+	for _, e := range entries {
+		switch e.Kind {
+		case dram.CmdACT:
+			t.NACT++
+		case dram.CmdPRE:
+			t.NPRE++
+		case dram.CmdRD:
+			t.NRD++
+		case dram.CmdWR:
+			t.NWR++
+		case dram.CmdREF:
+			t.NREF++
+		}
+	}
+	if n := len(entries); n > 0 {
+		span := float64(entries[n-1].Cycle-entries[0].Cycle) * tckNs
+		t.ActiveNs = span
+	}
+	return t
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Entries      int64
+	Cycles       int64 // span from first to last command
+	PerKind      [5]int64
+	BanksTouched int
+}
+
+// Summarize computes trace statistics.
+func Summarize(entries []Entry) Stats {
+	s := Stats{Entries: int64(len(entries))}
+	banks := map[int]bool{}
+	for _, e := range entries {
+		if int(e.Kind) < len(s.PerKind) {
+			s.PerKind[e.Kind]++
+		}
+		banks[e.Bank] = true
+	}
+	if len(entries) > 0 {
+		s.Cycles = entries[len(entries)-1].Cycle - entries[0].Cycle
+	}
+	s.BanksTouched = len(banks)
+	return s
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sparkxd/internal/dram"
+	"sparkxd/internal/memctrl"
+	"sparkxd/internal/power"
+	"sparkxd/internal/voltscale"
+)
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []Entry{
+		{Cycle: 0, Kind: dram.CmdACT, Bank: 0},
+		{Cycle: 14, Kind: dram.CmdRD, Bank: 0},
+		{Cycle: 18, Kind: dram.CmdRD, Bank: 1},
+		{Cycle: 40, Kind: dram.CmdPRE, Bank: 0},
+		{Cycle: 90, Kind: dram.CmdREF, Bank: 0},
+	}
+	for _, e := range in {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(in)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestAppendRejectsTimeTravel(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Append(Entry{Cycle: 10, Kind: dram.CmdACT}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Entry{Cycle: 5, Kind: dram.CmdRD}); err == nil {
+		t.Fatal("out-of-order cycle must error")
+	}
+	// Writer stays failed.
+	if err := w.Append(Entry{Cycle: 20, Kind: dram.CmdRD}); err == nil {
+		t.Fatal("failed writer must stay failed")
+	}
+}
+
+func TestAppendRejectsNegativeBank(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Append(Entry{Cycle: 0, Kind: dram.CmdACT, Bank: -1}); err == nil {
+		t.Fatal("negative bank must error")
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	src := "# header\n\n0,ACT,0\n  \n5,RD,0\n"
+	out, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("read %d entries, want 2", len(out))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"0,ACT",           // missing field
+		"x,ACT,0",         // bad cycle
+		"0,NOP,0",         // unknown command
+		"0,ACT,-2",        // bad bank
+		"5,ACT,0\n1,RD,0", // backwards time
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestHookCapturesControllerCommands(t *testing.T) {
+	geom := dram.SmallTestGeometry()
+	tm := dram.NominalTiming()
+	ctl, err := memctrl.New(geom, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ctl.OnCommand = w.Hook(geom, tm.TCK)
+	ctl.Do(memctrl.Access{Coord: dram.Coord{Row: 0}})
+	ctl.Do(memctrl.Access{Coord: dram.Coord{Row: 1}})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ACT,RD,PRE,ACT,RD
+	if len(entries) != 5 {
+		t.Fatalf("trace has %d entries, want 5", len(entries))
+	}
+	if entries[0].Kind != dram.CmdACT || entries[2].Kind != dram.CmdPRE {
+		t.Fatalf("unexpected command sequence: %+v", entries)
+	}
+}
+
+func TestTallyMatchesLiveController(t *testing.T) {
+	geom := dram.SmallTestGeometry()
+	tm := dram.NominalTiming()
+	ctl, _ := memctrl.New(geom, tm)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ctl.OnCommand = w.Hook(geom, tm.TCK)
+
+	var stream []memctrl.Access
+	for i := 0; i < 200; i++ {
+		stream = append(stream, memctrl.Access{Coord: dram.Coord{
+			Bank: i % 4, Row: (i / 32) % geom.Rows, Column: i % geom.Columns,
+		}})
+	}
+	live := ctl.Replay(stream)
+	_ = w.Flush()
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := Tally(entries, tm.TCK)
+	if replayed.NACT != live.Tally.NACT || replayed.NPRE != live.Tally.NPRE ||
+		replayed.NRD != live.Tally.NRD {
+		t.Fatalf("replayed tally %+v != live %+v", replayed, live.Tally)
+	}
+
+	// Energy computed from the archived trace must be close to the live
+	// energy (background residency differs only by the trailing burst).
+	m := power.Default()
+	eLive := m.Energy(live.Tally, voltscale.VNominal).TotalNJ()
+	eTrace := m.Energy(replayed, voltscale.VNominal).TotalNJ()
+	if eTrace <= 0 || eLive <= 0 {
+		t.Fatal("energies must be positive")
+	}
+	rel := (eLive - eTrace) / eLive
+	if rel < -0.05 || rel > 0.05 {
+		t.Errorf("trace-replayed energy differs %.1f%% from live", rel*100)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	entries := []Entry{
+		{Cycle: 0, Kind: dram.CmdACT, Bank: 0},
+		{Cycle: 4, Kind: dram.CmdRD, Bank: 0},
+		{Cycle: 8, Kind: dram.CmdRD, Bank: 3},
+		{Cycle: 30, Kind: dram.CmdPRE, Bank: 0},
+	}
+	s := Summarize(entries)
+	if s.Entries != 4 || s.Cycles != 30 || s.BanksTouched != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.PerKind[dram.CmdRD] != 2 || s.PerKind[dram.CmdACT] != 1 {
+		t.Fatalf("per-kind counts wrong: %+v", s.PerKind)
+	}
+	empty := Summarize(nil)
+	if empty.Entries != 0 || empty.Cycles != 0 {
+		t.Fatal("empty summarize wrong")
+	}
+}
