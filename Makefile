@@ -1,0 +1,34 @@
+# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs
+# the same gates the workflow runs, so a green `make ci` means a green CI.
+
+GO ?= go
+
+.PHONY: build test race bench vet fmt-check shard-smoke ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick-mode benchmark smoke run: every per-figure benchmark executes
+# exactly one iteration end to end.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Exercise the scheduler's shard matrix the same way the CI does.
+shard-smoke: build
+	$(GO) run ./cmd/experiments run --workers 4 --shard 1/2 --json > /dev/null
+	$(GO) run ./cmd/experiments run --workers 4 --shard 2/2 --json > /dev/null
+
+ci: build vet fmt-check race bench

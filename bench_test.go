@@ -6,6 +6,7 @@
 package sparkxd_test
 
 import (
+	"fmt"
 	"testing"
 
 	"sparkxd/internal/core"
@@ -15,6 +16,7 @@ import (
 	"sparkxd/internal/mapping"
 	"sparkxd/internal/memctrl"
 	"sparkxd/internal/rng"
+	"sparkxd/internal/sched"
 	"sparkxd/internal/snn"
 	"sparkxd/internal/voltscale"
 )
@@ -148,6 +150,50 @@ func BenchmarkAblationCoding(b *testing.B) {
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.AblationCoding(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- experiment scheduler (DESIGN.md §6) ----------------------------------
+
+// BenchmarkScheduledSuite runs every registered experiment through the
+// work-stealing scheduler with the minimal benchmark budgets — the same
+// path as `cmd/experiments run`. Each iteration uses a fresh runner, so
+// this measures the cold-cache suite makespan.
+func BenchmarkScheduledSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		s, err := sched.New(sched.Config{Seed: 2021, Cache: r.Cache()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Add(r.Jobs()...); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerOverhead measures the pure scheduling cost: 256
+// no-op jobs dispatched across the worker pool.
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := sched.New(sched.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 256; j++ {
+			if err := s.Add(sched.Job{
+				Name: fmt.Sprintf("noop-%03d", j),
+				Run:  func(*sched.Ctx) (any, error) { return nil, nil },
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}

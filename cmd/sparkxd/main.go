@@ -8,19 +8,206 @@
 // Usage:
 //
 //	sparkxd -neurons 400 -dataset mnist -voltage 1.025
+//
+//	sparkxd run -neurons 200,400 -datasets mnist,fashion -workers 4
+//	sparkxd run -shard 1/2 -json
+//
+// The run subcommand sweeps a grid of (dataset, network size) pipeline
+// configurations as jobs of the internal/sched work-stealing scheduler.
+// With -json, one deterministic result record per configuration is
+// written to stdout (byte-identical for any -workers value or -shard
+// split) and timing records go to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	"sparkxd/internal/core"
 	"sparkxd/internal/dataset"
 	"sparkxd/internal/report"
+	"sparkxd/internal/sched"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		os.Exit(runSuite(os.Args[2:]))
+	}
+	singleRun()
+}
+
+// pipelineRecord is the deterministic per-configuration record emitted
+// on stdout in -json mode (no timing: it must be byte-identical across
+// worker counts).
+type pipelineRecord struct {
+	Job         string  `json:"job"`
+	OK          bool    `json:"ok"`
+	Error       string  `json:"error,omitempty"`
+	Neurons     int     `json:"neurons,omitempty"`
+	Dataset     string  `json:"dataset,omitempty"`
+	Voltage     float64 `json:"voltage,omitempty"`
+	BaselineAcc float64 `json:"baseline_acc,omitempty"`
+	ImprovedAcc float64 `json:"improved_acc,omitempty"`
+	BERth       float64 `json:"ber_th,omitempty"`
+	EnergyMJ    float64 `json:"energy_mj,omitempty"`
+	Savings     float64 `json:"savings,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+func runSuite(args []string) int {
+	fs := flag.NewFlagSet("sparkxd run", flag.ExitOnError)
+	var (
+		neurons   = fs.String("neurons", "200,400", "comma-separated excitatory neuron counts")
+		flavors   = fs.String("datasets", "mnist,fashion", "comma-separated dataset flavours (mnist, fashion)")
+		voltage   = fs.Float64("voltage", 1.025, "approximate-DRAM supply voltage [V]")
+		trainN    = fs.Int("train", 300, "training samples")
+		testN     = fs.Int("test", 128, "test samples")
+		epochs    = fs.Int("epochs", 2, "error-free training epochs")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "scheduler worker pool size (0 = GOMAXPROCS)")
+		shardSpec = fs.String("shard", "", "run only slice i/m of the sweep (e.g. 1/2)")
+		jsonOut   = fs.Bool("json", false, "emit JSON result records on stdout, timing records on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	shard, err := sched.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", err)
+		return 2
+	}
+
+	var sizes []int
+	for _, tok := range strings.Split(*neurons, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "sparkxd run: bad neuron count %q\n", tok)
+			return 2
+		}
+		sizes = append(sizes, n)
+	}
+	var fls []dataset.Flavor
+	for _, tok := range strings.Split(*flavors, ",") {
+		switch strings.TrimSpace(tok) {
+		case "mnist":
+			fls = append(fls, dataset.MNISTLike)
+		case "fashion":
+			fls = append(fls, dataset.FashionLike)
+		default:
+			fmt.Fprintf(os.Stderr, "sparkxd run: unknown dataset %q (mnist|fashion)\n", tok)
+			return 2
+		}
+	}
+
+	s, err := sched.New(sched.Config{Workers: *workers, Shard: shard, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", err)
+		return 2
+	}
+	type jobCfg struct {
+		name string
+		cfg  core.RunConfig
+	}
+	var cfgs []jobCfg
+	for _, fl := range fls {
+		for _, n := range sizes {
+			cfg := core.DefaultRunConfig(n)
+			cfg.Flavor = fl
+			cfg.Voltage = *voltage
+			cfg.TrainN = *trainN
+			cfg.TestN = *testN
+			cfg.BaseEpochs = *epochs
+			cfg.NetworkSeed = *seed
+			cfgs = append(cfgs, jobCfg{name: fmt.Sprintf("pipeline/%s/N%04d", fl, n), cfg: cfg})
+		}
+	}
+	for _, jc := range cfgs {
+		jc := jc
+		// Larger networks dominate the runtime: use the neuron count as
+		// the cost hint so big configurations start first.
+		err := s.Add(sched.Job{Name: jc.name, Cost: float64(jc.cfg.Neurons),
+			Run: func(*sched.Ctx) (any, error) {
+				// One framework per job: RunConfig evaluation is
+				// read-only on the framework, but isolation is free here.
+				return core.NewFramework().Run(jc.cfg)
+			}})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", err)
+			return 2
+		}
+	}
+
+	reports, runErr := s.Run()
+	byName := make(map[string]jobCfg, len(cfgs))
+	for _, jc := range cfgs {
+		byName[jc.name] = jc
+	}
+
+	if *jsonOut {
+		out := json.NewEncoder(os.Stdout)
+		diag := json.NewEncoder(os.Stderr)
+		for _, rep := range reports {
+			rec := pipelineRecord{Job: rep.Name}
+			if rep.Err != nil {
+				rec.Error = report.FirstLine(rep.Err.Error())
+			} else if res, ok := rep.Value.(*core.RunResult); ok {
+				jc := byName[rep.Name]
+				rec.OK = true
+				rec.Neurons = jc.cfg.Neurons
+				rec.Dataset = jc.cfg.Flavor.String()
+				rec.Voltage = jc.cfg.Voltage
+				rec.BaselineAcc = res.BaselineAcc
+				rec.ImprovedAcc = res.ImprovedAcc
+				rec.BERth = res.BERth
+				rec.EnergyMJ = res.EnergySparkXD.TotalMJ()
+				rec.Savings = res.EnergySavings()
+				rec.Speedup = res.Speedup
+			}
+			_ = out.Encode(rec)
+		}
+		for _, rep := range reports {
+			_ = diag.Encode(struct {
+				Job       string  `json:"job"`
+				ElapsedMS float64 `json:"elapsed_ms"`
+				Worker    int     `json:"worker"`
+			}{rep.Name, float64(rep.Elapsed.Microseconds()) / 1000, rep.Worker})
+		}
+	} else {
+		ordered := append([]sched.Report(nil), reports...)
+		sort.Slice(ordered, func(a, b int) bool { return ordered[a].Name < ordered[b].Name })
+		tb := report.NewTable(fmt.Sprintf("pipeline sweep @%.3fV (shard %s)", *voltage, shard),
+			"configuration", "baseline acc", "improved acc", "BERth", "energy [mJ]", "savings", "speed-up")
+		for _, rep := range ordered {
+			if rep.Err != nil {
+				tb.AddRow(rep.Name, "FAILED: "+report.FirstLine(rep.Err.Error()), "", "", "", "", "")
+				continue
+			}
+			res := rep.Value.(*core.RunResult)
+			tb.AddRow(rep.Name, report.Pct(res.BaselineAcc), report.Pct(res.ImprovedAcc),
+				fmt.Sprintf("%.0e", res.BERth), res.EnergySparkXD.TotalMJ(),
+				report.Pct(res.EnergySavings()), fmt.Sprintf("%.3fx", res.Speedup))
+		}
+		tb.Render(os.Stdout)
+		for _, rep := range ordered {
+			if rep.Err == nil {
+				fmt.Fprintf(os.Stderr, "timing: %-24s %8.1f ms (worker %d)\n",
+					rep.Name, float64(rep.Elapsed.Microseconds())/1000, rep.Worker)
+			}
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", report.FirstLine(runErr.Error()))
+		return 1
+	}
+	return 0
+}
+
+func singleRun() {
 	var (
 		neurons = flag.Int("neurons", 400, "excitatory neurons (paper: 400/900/1600/2500/3600)")
 		flavor  = flag.String("dataset", "mnist", "dataset flavour: mnist or fashion")

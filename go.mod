@@ -1,0 +1,3 @@
+module sparkxd
+
+go 1.22

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"sparkxd/internal/dram"
 	"sparkxd/internal/quant"
@@ -211,6 +212,11 @@ type Injector struct {
 	P1, P0 float64
 
 	regions map[int]*region // keyed by linear subarray index
+	// order is the sorted region key sequence. Inject must visit regions
+	// in a fixed order: every region consumes draws from the caller's
+	// stream, so iterating the map directly would make the flip pattern
+	// depend on Go's randomized map iteration order.
+	order []int
 }
 
 // region is the portion of an image that lives in one subarray.
@@ -252,6 +258,7 @@ type Placement interface {
 // it explicitly lets tests pin deterministic weak-cell sets.
 func (in *Injector) Prepare(pl Placement) {
 	in.regions = make(map[int]*region)
+	in.order = in.order[:0]
 	geom := in.Profile.Geom
 	bitsPer := int64(pl.UnitBytes()) * 8
 	for u := 0; u < pl.Units(); u++ {
@@ -270,8 +277,12 @@ func (in *Injector) Prepare(pl Placement) {
 		reg.rows = append(reg.rows, int32(c.Row))
 		reg.cols = append(reg.cols, int32(c.Column))
 	}
-	for _, reg := range in.regions {
-		in.buildWeakSets(reg)
+	for lin := range in.regions {
+		in.order = append(in.order, lin)
+	}
+	sort.Ints(in.order)
+	for _, lin := range in.order {
+		in.buildWeakSets(in.regions[lin])
 	}
 }
 
@@ -333,7 +344,8 @@ func (in *Injector) Inject(img []byte, pl Placement, r *rng.Stream) int64 {
 	}
 	var flipped int64
 	actBase := 1.0 / in.Profile.WeakBoost
-	for _, reg := range in.regions {
+	for _, lin := range in.order {
+		reg := in.regions[lin]
 		if reg.ber <= 0 {
 			continue
 		}

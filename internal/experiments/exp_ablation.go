@@ -20,6 +20,18 @@ import (
 // comes from bank interleaving vs the safety filter, and how the spike
 // coding scheme interacts with error tolerance.
 
+func init() {
+	register(Entry{Name: "ablation-errmodels", Seq: 130, Cost: 4,
+		Desc: "EDEN error models 0-3 at a fixed BER",
+		Run:  func(r *Runner) (Result, error) { return r.AblationErrModels(1e-3) }})
+	register(Entry{Name: "ablation-mapping", Seq: 140, Cost: 1,
+		Desc: "mapping policy decomposition (interleaving vs safety)",
+		Run:  func(r *Runner) (Result, error) { return r.AblationMapping() }})
+	register(Entry{Name: "ablation-coding", Seq: 150, Cost: 5,
+		Desc: "spike coding schemes under error injection",
+		Run:  func(r *Runner) (Result, error) { return r.AblationCoding() }})
+}
+
 // AblationErrModelResult compares the accuracy impact of EDEN error
 // models 0-3 at a fixed BER.
 type AblationErrModelResult struct {
@@ -189,7 +201,7 @@ func (r *Runner) AblationCoding() (AblationCodingResult, error) {
 	if err != nil {
 		return res, err
 	}
-	err = parallelFor(len(encoders), func(i int) error {
+	err = r.parallelFor(len(encoders), func(i int) error {
 		cfg := snn.DefaultConfig(80)
 		cfg.Encoder = encoders[i]
 		net, err := snn.New(cfg, rng.New(r.Opts.Seed))

@@ -10,6 +10,15 @@ import (
 	"sparkxd/internal/rng"
 )
 
+func init() {
+	register(Entry{Name: "fig8", Seq: 80, Cost: 5,
+		Desc: "error-tolerance analysis for devising the DRAM mapping",
+		Run:  func(r *Runner) (Result, error) { return r.Fig8() }})
+	register(Entry{Name: "fig11", Seq: 90, Cost: 8,
+		Desc: "accuracy across BER values, network sizes, and datasets",
+		Run:  func(r *Runner) (Result, error) { return r.Fig11() }})
+}
+
 // CurveSet is one panel of Fig. 11 (and the whole of Fig. 8): the
 // accuracy of the three configurations across the BER sweep for one
 // network size and dataset.
@@ -148,7 +157,7 @@ func (r *Runner) Fig11() (Fig11Result, error) {
 	sizes := r.Opts.Sizes()
 	flavors := []dataset.Flavor{dataset.MNISTLike, dataset.FashionLike}
 	panels := make([]CurveSet, len(sizes)*len(flavors))
-	err := parallelFor(len(panels), func(i int) error {
+	err := r.parallelFor(len(panels), func(i int) error {
 		size := sizes[i%len(sizes)]
 		fl := flavors[i/len(sizes)]
 		cs, err := r.curveSet(size, fl)

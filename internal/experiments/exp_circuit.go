@@ -7,6 +7,18 @@ import (
 	"sparkxd/internal/voltscale"
 )
 
+func init() {
+	register(Entry{Name: "fig2c", Seq: 50, Cost: 0.1,
+		Desc: "bit error rate vs DRAM supply voltage",
+		Run:  func(r *Runner) (Result, error) { return r.Fig2c(), nil }})
+	register(Entry{Name: "fig2d", Seq: 60, Cost: 0.1,
+		Desc: "DRAM array voltage dynamics (ACT/PRE waveforms)",
+		Run:  func(r *Runner) (Result, error) { return r.Fig2d(), nil }})
+	register(Entry{Name: "fig6", Seq: 70, Cost: 0.2,
+		Desc: "voltage-dependent DRAM timing characterization",
+		Run:  func(r *Runner) (Result, error) { return r.Fig6(), nil }})
+}
+
 // Fig2cResult is the BER-vs-supply-voltage characterization (Fig. 2(c)).
 type Fig2cResult struct {
 	Voltage []float64

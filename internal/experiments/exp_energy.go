@@ -11,6 +11,18 @@ import (
 	"sparkxd/internal/voltscale"
 )
 
+func init() {
+	register(Entry{Name: "fig12a", Seq: 100, Cost: 2,
+		Desc: "DRAM access energy per inference (voltage x size matrix)",
+		Run:  func(r *Runner) (Result, error) { return r.Fig12a() }})
+	register(Entry{Name: "fig12b", Seq: 110, Cost: 1,
+		Desc: "speed-up of the SparkXD mapping over the baseline",
+		Run:  func(r *Runner) (Result, error) { return r.Fig12b() }})
+	register(Entry{Name: "table1", Seq: 120, Cost: 0.1,
+		Desc: "DRAM energy-per-access savings vs supply voltage",
+		Run:  func(r *Runner) (Result, error) { return r.TableI(), nil }})
+}
+
 // Fig12aResult is the DRAM access energy per inference across supply
 // voltages and network sizes (Fig. 12(a)).
 type Fig12aResult struct {

@@ -18,6 +18,21 @@ func log10(x float64) float64 { return math.Log10(x) }
 
 func formatV(v float64) string { return fmt.Sprintf("%.3fV", v) }
 
+func init() {
+	register(Entry{Name: "fig1a", Seq: 10, Cost: 3,
+		Desc: "accuracy of small vs large SNN (motivation)",
+		Run:  func(r *Runner) (Result, error) { return r.Fig1a() }})
+	register(Entry{Name: "fig1b", Seq: 20, Cost: 0.1,
+		Desc: "energy breakdown of SNN hardware platforms",
+		Run:  func(r *Runner) (Result, error) { return r.Fig1b(), nil }})
+	register(Entry{Name: "fig2a", Seq: 30, Cost: 2,
+		Desc: "normalized DRAM energy: pruning x approximate DRAM",
+		Run:  func(r *Runner) (Result, error) { return r.Fig2a() }})
+	register(Entry{Name: "fig2b", Seq: 40, Cost: 0.1,
+		Desc: "DRAM access energy per access condition",
+		Run:  func(r *Runner) (Result, error) { return r.Fig2b(), nil }})
+}
+
 // Fig1aResult compares the accuracy of a small and a large SNN
 // (Fig. 1(a): 200 neurons ~1 MB vs 9800 neurons ~200 MB on MNIST).
 type Fig1aResult struct {
@@ -42,7 +57,7 @@ func (r *Runner) Fig1a() (Fig1aResult, error) {
 	}
 	res := Fig1aResult{}
 	accs := make([]float64, len(sizes))
-	err = parallelFor(len(sizes), func(i int) error {
+	err = r.parallelFor(len(sizes), func(i int) error {
 		n, err := snn.New(snn.DefaultConfig(sizes[i]), rng.New(r.Opts.Seed))
 		if err != nil {
 			return err

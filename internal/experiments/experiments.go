@@ -1,8 +1,12 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (see DESIGN.md §4 for the experiment index). Each Fig*/Table*
 // function returns a structured result and can render itself as terminal
-// tables/charts; cmd/experiments is the CLI front-end and bench_test.go
-// at the repository root wraps each one as a testing.B benchmark.
+// tables/charts. Every entry also registers itself (from its exp_*.go
+// file's init) as a job of the internal/sched work-stealing scheduler;
+// cmd/experiments is the CLI front-end — `experiments run` executes the
+// whole registered suite in parallel with shard support — and
+// bench_test.go at the repository root wraps each entry as a testing.B
+// benchmark.
 //
 // Results are *shape-level* reproductions: the DRAM-side numbers
 // (Figs. 2, 6, 12, Table I) track the paper closely because the energy
@@ -15,12 +19,11 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"sparkxd/internal/core"
 	"sparkxd/internal/dataset"
 	"sparkxd/internal/rng"
+	"sparkxd/internal/sched"
 	"sparkxd/internal/snn"
 )
 
@@ -32,6 +35,11 @@ type Options struct {
 	Quick bool
 	// Seed drives every stochastic component.
 	Seed uint64
+	// Workers bounds the intra-experiment parallelism (panel sweeps,
+	// encoder comparisons); <= 0 means GOMAXPROCS. Results are
+	// bit-identical for any value because every random stream is
+	// derived from labels, never from execution order.
+	Workers int
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 
@@ -119,14 +127,14 @@ func (o Options) BERs() []float64 {
 }
 
 // Runner caches trained models across experiments (Figs. 8, 11, 12 share
-// them) and owns the framework instance.
+// them) and owns the framework instance. The cache is a sched.Cache, so
+// scheduler jobs running concurrently share single-flight artifact
+// computation: the first job to need a (size, flavour, seed) model pair
+// trains it and every other job blocks on — then reuses — that result.
 type Runner struct {
-	Opts Options
-	F    *core.Framework
-
-	mu    sync.Mutex
-	pairs map[string]*ModelPair
-	dsets map[string][2]*dataset.Dataset
+	Opts  Options
+	F     *core.Framework
+	cache *sched.Cache
 }
 
 // ModelPair is a baseline network and its fault-aware-trained counterpart.
@@ -143,36 +151,39 @@ type ModelPair struct {
 	BERth float64
 }
 
-// NewRunner builds a runner over the paper's framework.
+// NewRunner builds a runner over the paper's framework with its own
+// artifact cache; callers that schedule the suite pass Cache() to
+// sched.Config so jobs and runner share one cache.
 func NewRunner(opts Options) *Runner {
 	return &Runner{
 		Opts:  opts,
 		F:     core.NewFramework(),
-		pairs: make(map[string]*ModelPair),
-		dsets: make(map[string][2]*dataset.Dataset),
+		cache: sched.NewCache(),
 	}
 }
 
-// Data returns (train, test) for a flavour, cached.
+// Cache exposes the runner's artifact cache (shared with the scheduler).
+func (r *Runner) Cache() *sched.Cache { return r.cache }
+
+// Data returns (train, test) for a flavour, cached by
+// flavour+budgets+seed.
 func (r *Runner) Data(fl dataset.Flavor) (*dataset.Dataset, *dataset.Dataset, error) {
-	key := fl.String()
-	r.mu.Lock()
-	if d, ok := r.dsets[key]; ok {
-		r.mu.Unlock()
-		return d[0], d[1], nil
-	}
-	r.mu.Unlock()
-	cfg := dataset.DefaultConfig(fl)
-	cfg.Train, cfg.Test = r.Opts.TrainN(), r.Opts.TestN()
-	cfg.Seed = r.Opts.Seed
-	train, test, err := dataset.Generate(cfg)
+	key := fmt.Sprintf("dset/%s/train%d/test%d/seed%d", fl, r.Opts.TrainN(), r.Opts.TestN(), r.Opts.Seed)
+	v, err := r.cache.GetOrCompute(key, func() (any, error) {
+		cfg := dataset.DefaultConfig(fl)
+		cfg.Train, cfg.Test = r.Opts.TrainN(), r.Opts.TestN()
+		cfg.Seed = r.Opts.Seed
+		train, test, err := dataset.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return [2]*dataset.Dataset{train, test}, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	r.mu.Lock()
-	r.dsets[key] = [2]*dataset.Dataset{train, test}
-	r.mu.Unlock()
-	return train, test, nil
+	d := v.([2]*dataset.Dataset)
+	return d[0], d[1], nil
 }
 
 // trainCfg returns the Algorithm-1 schedule for this run.
@@ -184,96 +195,57 @@ func (r *Runner) trainCfg() core.TrainConfig {
 }
 
 // Pair returns the trained (baseline, improved) pair for a size and
-// flavour, training on first use and caching.
+// flavour, training on first use and caching by size+flavour+seed.
+// Training seeds derive from the pair's label, so the result is
+// bit-identical no matter which experiment (or worker) triggers it.
 func (r *Runner) Pair(size int, fl dataset.Flavor) (*ModelPair, error) {
-	key := fmt.Sprintf("%s/N%d", fl, size)
-	r.mu.Lock()
-	if p, ok := r.pairs[key]; ok {
-		r.mu.Unlock()
+	label := fmt.Sprintf("%s/N%d", fl, size)
+	key := fmt.Sprintf("pair/%s/N%d/seed%d", fl, size, r.Opts.Seed)
+	v, err := r.cache.GetOrCompute(key, func() (any, error) {
+		train, test, err := r.Data(fl)
+		if err != nil {
+			return nil, err
+		}
+		r.Opts.logf("training %s ...", label)
+		baseline, err := snn.New(snn.DefaultConfig(size), rng.New(r.Opts.Seed))
+		if err != nil {
+			return nil, err
+		}
+		// The baseline gets the same total training budget as the improved
+		// model (base epochs + one epoch per BER schedule rate); otherwise
+		// the fault-aware model's extra epochs would confound the Fig. 8/11
+		// comparison, which isolates the effect of error awareness.
+		root := rng.New(r.Opts.Seed).Derive(label)
+		epochs := r.Opts.BaseEpochs() + len(r.Opts.BERs())*r.trainCfg().EpochsPerRate
+		for e := 0; e < epochs; e++ {
+			baseline.TrainEpoch(train, root.DeriveIndex("epoch", e))
+		}
+		baseline.AssignLabels(train, root.Derive("assign"))
+
+		res, err := r.F.ImproveErrorTolerance(baseline, train, test, r.trainCfg())
+		if err != nil {
+			return nil, err
+		}
+		p := &ModelPair{
+			Size:        size,
+			Flavor:      fl,
+			Baseline:    baseline,
+			Improved:    res.Model,
+			BaselineAcc: res.BaselineAcc,
+			TrainCurve:  res.PerRate,
+			BERth:       res.BERth,
+		}
+		r.Opts.logf("trained  %s: acc0=%.1f%% BERth=%.0e", label, p.BaselineAcc*100, p.BERth)
 		return p, nil
-	}
-	r.mu.Unlock()
-
-	train, test, err := r.Data(fl)
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.Opts.logf("training %s ...", key)
-	baseline, err := snn.New(snn.DefaultConfig(size), rng.New(r.Opts.Seed))
-	if err != nil {
-		return nil, err
-	}
-	// The baseline gets the same total training budget as the improved
-	// model (base epochs + one epoch per BER schedule rate); otherwise
-	// the fault-aware model's extra epochs would confound the Fig. 8/11
-	// comparison, which isolates the effect of error awareness.
-	root := rng.New(r.Opts.Seed).Derive(key)
-	epochs := r.Opts.BaseEpochs() + len(r.Opts.BERs())*r.trainCfg().EpochsPerRate
-	for e := 0; e < epochs; e++ {
-		baseline.TrainEpoch(train, root.DeriveIndex("epoch", e))
-	}
-	baseline.AssignLabels(train, root.Derive("assign"))
-
-	res, err := r.F.ImproveErrorTolerance(baseline, train, test, r.trainCfg())
-	if err != nil {
-		return nil, err
-	}
-	p := &ModelPair{
-		Size:        size,
-		Flavor:      fl,
-		Baseline:    baseline,
-		Improved:    res.Model,
-		BaselineAcc: res.BaselineAcc,
-		TrainCurve:  res.PerRate,
-		BERth:       res.BERth,
-	}
-	r.mu.Lock()
-	r.pairs[key] = p
-	r.mu.Unlock()
-	r.Opts.logf("trained  %s: acc0=%.1f%% BERth=%.0e", key, p.BaselineAcc*100, p.BERth)
-	return p, nil
+	return v.(*ModelPair), nil
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers and
-// returns the first error.
-func parallelFor(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next = 0
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if err != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if e := fn(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return err
+// parallelFor runs fn(i) for i in [0, n) on up to Opts.Workers workers
+// (GOMAXPROCS when unset) and returns the lowest-index error.
+func (r *Runner) parallelFor(n int, fn func(i int) error) error {
+	return sched.ParallelFor(r.Opts.Workers, n, fn)
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sparkxd/internal/dataset"
+	"sparkxd/internal/sched"
 )
 
 // tinyRunner returns a runner with deliberately minimal budgets for tests.
@@ -326,9 +327,10 @@ func TestPairCaching(t *testing.T) {
 }
 
 func TestParallelFor(t *testing.T) {
+	r := tinyRunner()
 	n := 50
 	hit := make([]bool, n)
-	err := parallelFor(n, func(i int) error {
+	err := r.parallelFor(n, func(i int) error {
 		hit[i] = true
 		return nil
 	})
@@ -340,14 +342,14 @@ func TestParallelFor(t *testing.T) {
 			t.Fatalf("index %d not visited", i)
 		}
 	}
-	sentinel := parallelFor(10, func(i int) error {
+	sentinel := r.parallelFor(10, func(i int) error {
 		if i == 3 {
 			return errSentinel
 		}
 		return nil
 	})
-	if sentinel == nil {
-		t.Error("error must propagate")
+	if sentinel != errSentinel {
+		t.Errorf("lowest-index error must propagate, got %v", sentinel)
 	}
 }
 
@@ -356,3 +358,89 @@ var errSentinel = &sentinelError{}
 type sentinelError struct{}
 
 func (*sentinelError) Error() string { return "sentinel" }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1a", "fig1b", "fig2a", "fig2b", "fig2c", "fig2d",
+		"fig6", "fig8", "fig11", "fig12a", "fig12b", "table1",
+		"ablation-errmodels", "ablation-mapping", "ablation-coding"}
+	entries := Entries()
+	if len(entries) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		if e.Name != want[i] {
+			t.Errorf("entry %d = %q, want %q (suite order)", i, e.Name, want[i])
+		}
+		if e.Cost <= 0 {
+			t.Errorf("entry %q has no cost hint", e.Name)
+		}
+		if e.Desc == "" {
+			t.Errorf("entry %q has no description", e.Name)
+		}
+		if _, ok := Lookup(e.Name); !ok {
+			t.Errorf("Lookup(%q) failed", e.Name)
+		}
+	}
+	r := tinyRunner()
+	if jobs := r.Jobs(); len(jobs) != len(entries) {
+		t.Fatalf("Jobs() wraps %d jobs, want %d", len(jobs), len(entries))
+	}
+}
+
+// The non-training experiment jobs must render byte-identically whether
+// the scheduler runs them on one worker or eight (the training-heavy
+// jobs are covered by the CI determinism cross-check, which diffs the
+// full suite's JSON records across worker counts).
+func TestScheduledJobsDeterministicAcrossWorkers(t *testing.T) {
+	cheap := map[string]bool{"fig1b": true, "fig2b": true, "fig2c": true,
+		"fig2d": true, "fig6": true, "table1": true, "ablation-mapping": true}
+	render := func(workers int) map[string]string {
+		r := NewRunner(Options{Quick: true, Seed: 5, Workers: workers})
+		s, err := sched.New(sched.Config{Workers: workers, Seed: 5, Cache: r.Cache()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range r.Jobs() {
+			if cheap[j.Name] {
+				if err := s.Add(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		reports, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(reports))
+		for _, rep := range reports {
+			var buf bytes.Buffer
+			rep.Value.(Result).Render(&buf)
+			out[rep.Name] = buf.String()
+		}
+		return out
+	}
+	serial := render(1)
+	if len(serial) != len(cheap) {
+		t.Fatalf("ran %d jobs, want %d", len(serial), len(cheap))
+	}
+	parallel := render(8)
+	for name, text := range serial {
+		if parallel[name] != text {
+			t.Errorf("job %q rendered differently at workers=8", name)
+		}
+	}
+}
+
+func TestCacheAccounting(t *testing.T) {
+	r := tinyRunner()
+	if _, _, err := r.Data(dataset.MNISTLike); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Data(dataset.MNISTLike); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("after two identical Data calls: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}

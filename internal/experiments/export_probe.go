@@ -8,3 +8,10 @@ import "sparkxd/internal/dataset"
 func (r *Runner) CurveSetPublic(size int, fl dataset.Flavor) (CurveSet, error) {
 	return r.curveSet(size, fl)
 }
+
+// CacheStats exposes the runner's artifact-cache hit/miss counters so
+// callers (CLI --json mode, CI probes) can verify that shared artifacts
+// — datasets and trained model pairs — are computed once per key.
+func (r *Runner) CacheStats() (hits, misses uint64) {
+	return r.cache.Stats()
+}

@@ -220,3 +220,12 @@ func (c *Chart) Render(w io.Writer) {
 
 // Pct formats a fraction as a percentage string.
 func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// FirstLine truncates a (possibly multi-line) message to its first line,
+// used to keep contained panic stacks out of one-line error records.
+func FirstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

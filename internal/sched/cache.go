@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+)
+
+// Cache is a concurrency-safe memoizing cache for expensive shared
+// artifacts (generated datasets, trained model pairs). Computation is
+// single-flight: when several jobs ask for the same key at once, exactly
+// one computes and the rest block on its result, so e.g. the Fig. 8,
+// Fig. 11, and ablation jobs never re-train the same network.
+//
+// Errors are cached alongside values: the suite is deterministic, so a
+// failed computation would fail identically on retry.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// GetOrCompute returns the cached value for key, computing it with fn on
+// first use. Concurrent callers of the same key share one computation
+// (the waiters count as hits). Panics inside fn are contained and
+// returned as errors to every caller.
+func (c *Cache) GetOrCompute(key string, fn func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.val, e.err = runProtected(key, fn)
+	close(e.done)
+	return e.val, e.err
+}
+
+// runProtected invokes fn with panic containment.
+func runProtected(key string, fn func() (any, error)) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = nil, fmt.Errorf("sched: panic computing cache key %q: %v\n%s", key, r, debug.Stack())
+		}
+	}()
+	return fn()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached keys (including in-flight ones).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Keys returns the sorted cached keys (diagnostics).
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

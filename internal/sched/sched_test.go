@@ -1,0 +1,453 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// suiteNames builds a deterministic set of job names for shard tests.
+func suiteNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("job-%02d", i)
+	}
+	return names
+}
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Shard
+		err  bool
+	}{
+		{"", Shard{}, false},
+		{"1/1", Shard{1, 1}, false},
+		{"2/4", Shard{2, 4}, false},
+		{"0/4", Shard{}, true},
+		{"5/4", Shard{}, true},
+		{"x/y", Shard{}, true},
+		{"3", Shard{}, true},
+		{"1/2x", Shard{}, true},
+		{"1x/2", Shard{}, true},
+		{" 1/2", Shard{}, true},
+		{"1/2/3", Shard{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseShard(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseShard(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseShard(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseShard(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunsAllJobsAndReportsInNameOrder(t *testing.T) {
+	s, err := New(Config{Workers: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran sync.Map
+	// Register in reverse order to prove reports come back name-sorted.
+	names := suiteNames(20)
+	for i := len(names) - 1; i >= 0; i-- {
+		name := names[i]
+		if err := s.Add(Job{Name: name, Run: func(*Ctx) (any, error) {
+			ran.Store(name, true)
+			return name + "-value", nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(names) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(names))
+	}
+	for i, rep := range reports {
+		if rep.Name != names[i] {
+			t.Errorf("report %d = %q, want %q (name order)", i, rep.Name, names[i])
+		}
+		if rep.Value != rep.Name+"-value" {
+			t.Errorf("report %q carries value %v", rep.Name, rep.Value)
+		}
+		if _, ok := ran.Load(rep.Name); !ok {
+			t.Errorf("job %q never ran", rep.Name)
+		}
+	}
+}
+
+// Determinism: the per-job RNG stream depends only on (seed, name), so
+// any worker count produces identical values.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) map[string]uint64 {
+		s, err := New(Config{Workers: workers, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range suiteNames(24) {
+			if err := s.Add(Job{Name: name, Run: func(ctx *Ctx) (any, error) {
+				// Consume the job stream in a few different ways; the
+				// result must not depend on scheduling.
+				v := ctx.RNG.Uint64() ^ ctx.RNG.Derive("sub").Uint64()
+				return v, nil
+			}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reports, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]uint64, len(reports))
+		for _, rep := range reports {
+			out[rep.Name] = rep.Value.(uint64)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		parallel := run(workers)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d results vs %d serial", workers, len(parallel), len(serial))
+		}
+		for name, v := range serial {
+			if parallel[name] != v {
+				t.Errorf("workers=%d: job %q diverged: %d vs %d", workers, name, parallel[name], v)
+			}
+		}
+	}
+}
+
+// Shard union: 1/m .. m/m together cover the full suite exactly once.
+func TestShardUnionCompleteness(t *testing.T) {
+	names := suiteNames(17)
+	for _, m := range []int{2, 3, 5} {
+		seen := make(map[string]int)
+		for i := 1; i <= m; i++ {
+			s, err := New(Config{Workers: 2, Shard: Shard{Index: i, Count: m}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range names {
+				if err := s.Add(Job{Name: name, Run: func(*Ctx) (any, error) { return nil, nil }}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			members := s.Members()
+			reports, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reports) != len(members) {
+				t.Fatalf("shard %d/%d: %d reports vs %d members", i, m, len(reports), len(members))
+			}
+			for _, n := range members {
+				seen[n]++
+			}
+		}
+		if len(seen) != len(names) {
+			t.Fatalf("m=%d: union covers %d jobs, want %d", m, len(seen), len(names))
+		}
+		for n, count := range seen {
+			if count != 1 {
+				t.Errorf("m=%d: job %q assigned to %d shards", m, n, count)
+			}
+		}
+	}
+}
+
+// Shard assignment must not depend on registration order.
+func TestShardAssignmentOrderIndependent(t *testing.T) {
+	names := suiteNames(9)
+	reversed := append([]string(nil), names...)
+	sort.Sort(sort.Reverse(sort.StringSlice(reversed)))
+	for _, order := range [][]string{names, reversed} {
+		s, err := New(Config{Shard: Shard{Index: 2, Count: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range order {
+			if err := s.Add(Job{Name: n, Run: func(*Ctx) (any, error) { return nil, nil }}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := s.Members()
+		want := []string{"job-01", "job-04", "job-07"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("members for order %v = %v, want %v", order[:2], got, want)
+		}
+	}
+}
+
+func TestCacheHitAccountingAndSingleFlight(t *testing.T) {
+	c := NewCache()
+	var computes atomic.Int64
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrCompute("model/N60", func() (any, error) {
+				computes.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the race window
+				return 99, nil
+			})
+			if err != nil || v.(int) != 99 {
+				t.Errorf("GetOrCompute = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want single-flight 1", n)
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != callers-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", hits, misses, callers-1)
+	}
+	if c.Len() != 1 || len(c.Keys()) != 1 {
+		t.Fatal("cache must hold exactly one key")
+	}
+	// Errors are cached too.
+	sentinel := errors.New("boom")
+	if _, err := c.GetOrCompute("bad", func() (any, error) { return nil, sentinel }); !errors.Is(err, sentinel) {
+		t.Fatal("error not returned")
+	}
+	if _, err := c.GetOrCompute("bad", func() (any, error) {
+		t.Error("error entry recomputed")
+		return nil, nil
+	}); !errors.Is(err, sentinel) {
+		t.Fatal("cached error not returned")
+	}
+}
+
+func TestCachePanicContainment(t *testing.T) {
+	c := NewCache()
+	_, err := c.GetOrCompute("explodes", func() (any, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic must surface as error, got %v", err)
+	}
+}
+
+// A panicking job must not take down the run: the other jobs complete,
+// the panic surfaces as that job's error, and dependents are skipped.
+func TestPanicContainmentAndDependentSkip(t *testing.T) {
+	s, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survivors atomic.Int64
+	jobs := []Job{
+		{Name: "bomber", Run: func(*Ctx) (any, error) { panic("fuse lit") }},
+		{Name: "dependent", Deps: []string{"bomber"}, Run: func(*Ctx) (any, error) {
+			t.Error("dependent of a panicked job must not run")
+			return nil, nil
+		}},
+		{Name: "transitive", Deps: []string{"dependent"}, Run: func(*Ctx) (any, error) {
+			t.Error("transitive dependent must not run")
+			return nil, nil
+		}},
+	}
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, Job{Name: fmt.Sprintf("survivor-%d", i), Run: func(*Ctx) (any, error) {
+			survivors.Add(1)
+			return nil, nil
+		}})
+	}
+	if err := s.Add(jobs...); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := s.Run()
+	if err == nil {
+		t.Fatal("run with a panicking job must report an error")
+	}
+	if survivors.Load() != 6 {
+		t.Fatalf("%d survivors ran, want 6", survivors.Load())
+	}
+	byName := make(map[string]Report)
+	for _, rep := range reports {
+		byName[rep.Name] = rep
+	}
+	if rep := byName["bomber"]; rep.Err == nil || !strings.Contains(rep.Err.Error(), "fuse lit") {
+		t.Errorf("bomber error = %v, want contained panic", rep.Err)
+	}
+	for _, skipped := range []string{"dependent", "transitive"} {
+		if rep := byName[skipped]; rep.Err == nil || !strings.Contains(rep.Err.Error(), "dependency") {
+			t.Errorf("%s error = %v, want dependency failure", skipped, rep.Err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if rep := byName[fmt.Sprintf("survivor-%d", i)]; rep.Err != nil {
+			t.Errorf("survivor-%d failed: %v", i, rep.Err)
+		}
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	s, err := New(Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	finished := make(map[string]bool)
+	mark := func(name string, deps ...string) func(*Ctx) (any, error) {
+		return func(*Ctx) (any, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, d := range deps {
+				if !finished[d] {
+					return nil, fmt.Errorf("%s started before dependency %s finished", name, d)
+				}
+			}
+			finished[name] = true
+			return nil, nil
+		}
+	}
+	// Diamond: a -> (b, c) -> d, plus an independent chain.
+	if err := s.Add(
+		Job{Name: "d", Deps: []string{"b", "c"}, Run: mark("d", "b", "c")},
+		Job{Name: "c", Deps: []string{"a"}, Run: mark("c", "a")},
+		Job{Name: "b", Deps: []string{"a"}, Run: mark("b", "a")},
+		Job{Name: "a", Run: mark("a")},
+		Job{Name: "z2", Deps: []string{"z1"}, Run: mark("z2", "z1")},
+		Job{Name: "z1", Run: mark("z1")},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(finished) != 6 {
+		t.Fatalf("%d jobs finished, want 6", len(finished))
+	}
+}
+
+func TestDependencyCycleDetected(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(
+		Job{Name: "a", Deps: []string{"b"}, Run: func(*Ctx) (any, error) { return nil, nil }},
+		Job{Name: "b", Deps: []string{"a"}, Run: func(*Ctx) (any, error) { return nil, nil }},
+		Job{Name: "free", Run: func(*Ctx) (any, error) { return "ok", nil }},
+	); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var reports []Report
+	var runErr error
+	go func() {
+		reports, runErr = s.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cycle deadlocked the scheduler")
+	}
+	if runErr == nil {
+		t.Fatal("cycle must surface as an error")
+	}
+	for _, rep := range reports {
+		if rep.Name == "free" && rep.Err != nil {
+			t.Errorf("independent job failed: %v", rep.Err)
+		}
+		if (rep.Name == "a" || rep.Name == "b") && rep.Err == nil {
+			t.Errorf("cycle member %q reported no error", rep.Name)
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Job{Name: "", Run: func(*Ctx) (any, error) { return nil, nil }}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := s.Add(Job{Name: "x"}); err == nil {
+		t.Error("nil Run must be rejected")
+	}
+	if err := s.Add(Job{Name: "x", Run: func(*Ctx) (any, error) { return nil, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Job{Name: "x", Run: func(*Ctx) (any, error) { return nil, nil }}); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if _, err := New(Config{Shard: Shard{Index: 9, Count: 2}}); err == nil {
+		t.Error("invalid shard must be rejected")
+	}
+	s2, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Add(Job{Name: "orphan", Deps: []string{"ghost"}, Run: func(*Ctx) (any, error) { return nil, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(); err == nil || !strings.Contains(err.Error(), "unknown job") {
+		t.Errorf("unknown dependency must fail the run, got %v", err)
+	}
+}
+
+func TestParallelForBasics(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		n := 37
+		hit := make([]atomic.Bool, n)
+		if err := ParallelFor(workers, n, func(i int) error {
+			hit[i].Store(true)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hit {
+			if !hit[i].Load() {
+				t.Fatalf("workers=%d: index %d not visited", workers, i)
+			}
+		}
+	}
+	if err := ParallelFor(4, 0, func(int) error { t.Error("no iterations expected"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// The lowest failing index wins regardless of worker count.
+	for _, workers := range []int{1, 8} {
+		err := ParallelFor(workers, 40, func(i int) error {
+			if i == 11 || i == 30 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-11" {
+			t.Errorf("workers=%d: error = %v, want fail-11", workers, err)
+		}
+	}
+	// Panics are contained.
+	err := ParallelFor(4, 8, func(i int) error {
+		if i == 2 {
+			panic("loop bomb")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "loop bomb") {
+		t.Errorf("panic must surface as error, got %v", err)
+	}
+}
