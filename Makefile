@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt-check shard-smoke ci
+.PHONY: build test race bench vet fmt-check shard-smoke examples-smoke lint vuln ci
 
 build:
 	$(GO) build ./...
@@ -31,4 +31,24 @@ shard-smoke: build
 	$(GO) run ./cmd/experiments run --workers 4 --shard 1/2 --json > /dev/null
 	$(GO) run ./cmd/experiments run --workers 4 --shard 2/2 --json > /dev/null
 
-ci: build vet fmt-check race bench
+# Run every example and both CLIs end to end on tiny budgets, including
+# the persist-then-resume artifact round-trip of `sparkxd single`.
+examples-smoke: build
+	$(GO) run ./examples/quickstart -tiny
+	$(GO) run ./examples/faultaware -tiny
+	$(GO) run ./examples/mapping
+	$(GO) run ./examples/voltagesweep
+	$(GO) run ./cmd/sparkxd single -neurons 40 -train 60 -test 30 -epochs 1 -artifacts /tmp/sparkxd-arts -quiet
+	$(GO) run ./cmd/sparkxd single -neurons 40 -train 60 -test 30 -epochs 1 -resume /tmp/sparkxd-arts -quiet
+	$(GO) run ./cmd/dramsim -weights 78400 -policy sparkxd -voltage 1.1
+
+# Static analysis / vulnerability scan; both need their tools on PATH
+# (go install honnef.co/go/tools/cmd/staticcheck@v0.4.7,
+#  go install golang.org/x/vuln/cmd/govulncheck@latest).
+lint:
+	staticcheck ./...
+
+vuln:
+	govulncheck ./...
+
+ci: build vet fmt-check race bench examples-smoke

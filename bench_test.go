@@ -6,9 +6,11 @@
 package sparkxd_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"sparkxd"
 	"sparkxd/internal/core"
 	"sparkxd/internal/dataset"
 	"sparkxd/internal/errmodel"
@@ -304,17 +306,22 @@ func BenchmarkSNNTrainEpoch(b *testing.B) {
 	}
 }
 
-// BenchmarkEndToEndPipeline runs the complete SparkXD flow on a tiny
-// configuration (the quickstart example's workload).
+// BenchmarkEndToEndPipeline runs the complete SparkXD flow through the
+// public SDK on a tiny configuration (the quickstart example's -tiny
+// workload).
 func BenchmarkEndToEndPipeline(b *testing.B) {
-	f := core.NewFramework()
-	cfg := core.DefaultRunConfig(50)
-	cfg.TrainN, cfg.TestN = 60, 30
-	cfg.BaseEpochs = 1
-	cfg.Train.Rates = []float64{1e-5, 1e-3}
+	sys, err := sparkxd.New(
+		sparkxd.WithNeurons(50),
+		sparkxd.WithSampleBudget(60, 30),
+		sparkxd.WithBaseEpochs(1),
+		sparkxd.WithBERSchedule(1e-5, 1e-3),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.Run(cfg); err != nil {
+		if _, err := sys.Pipeline().Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

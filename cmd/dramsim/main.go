@@ -1,9 +1,10 @@
-// Command dramsim is a standalone approximate-DRAM simulator: it places a
-// weight image of the requested size with either mapping policy, replays
-// the inference access stream through the memory controller at a chosen
-// supply voltage, and prints the access census, command counts, timing,
-// and the DRAMPower-style energy breakdown. With -trace it also dumps the
-// command trace (time, command, bank, row/col), one line per command.
+// Command dramsim is a standalone approximate-DRAM simulator built on
+// the public sparkxd SDK: it places a weight image of the requested size
+// with either mapping policy, replays the inference access stream
+// through the memory controller at a chosen supply voltage, and prints
+// the access census, command counts, timing, and the DRAMPower-style
+// energy breakdown. With -trace it also dumps the command trace (time,
+// command, bank, row/col), one line per command.
 //
 // Usage:
 //
@@ -13,13 +14,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"sparkxd/internal/core"
-	"sparkxd/internal/dram"
-	"sparkxd/internal/memctrl"
+	"sparkxd"
 	"sparkxd/internal/report"
 )
 
@@ -33,69 +33,69 @@ func main() {
 	)
 	flag.Parse()
 
-	f := core.NewFramework()
-	var (
-		layout interface {
-			AccessStream() []dram.Coord
-		}
-		err error
-	)
+	var pol sparkxd.Policy
 	switch *policy {
 	case "baseline":
-		layout, err = f.LayoutForWeights(*weights, nil)
+		pol = sparkxd.PolicyBaseline
 	case "sparkxd":
-		layout, _, _, err = f.MapWeightsAdaptive(*weights, *voltage, *berth)
+		pol = sparkxd.PolicySparkXD
 	default:
 		fmt.Fprintf(os.Stderr, "dramsim: unknown policy %q\n", *policy)
 		os.Exit(2)
 	}
+
+	sys, err := sparkxd.New()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dramsim: %v\n", err)
 		os.Exit(1)
 	}
 
-	ctl, err := memctrl.New(f.Geom, f.Circuit.Timing(*voltage))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dramsim: %v\n", err)
-		os.Exit(1)
+	req := sparkxd.StreamRequest{
+		WeightCount: *weights,
+		Policy:      pol,
+		Voltage:     *voltage,
+		BERth:       *berth,
 	}
 	var w *bufio.Writer
 	if *trace {
 		w = bufio.NewWriter(os.Stdout)
 		defer w.Flush()
-		ctl.OnCommand = func(cmd dram.Command, atNs float64) {
+		req.OnCommand = func(cmd sparkxd.TraceCommand) {
 			switch cmd.Kind {
-			case dram.CmdACT:
-				fmt.Fprintf(w, "%12.2f ns  ACT  bank=%v row=%d\n", atNs, cmd.Bank, cmd.Row)
-			case dram.CmdPRE:
-				fmt.Fprintf(w, "%12.2f ns  PRE  bank=%v\n", atNs, cmd.Bank)
+			case "ACT":
+				fmt.Fprintf(w, "%12.2f ns  ACT  bank=%s row=%d\n", cmd.AtNs, cmd.Bank, cmd.Row)
+			case "PRE":
+				fmt.Fprintf(w, "%12.2f ns  PRE  bank=%s\n", cmd.AtNs, cmd.Bank)
 			default:
-				fmt.Fprintf(w, "%12.2f ns  %-4v bank=%v col=%d\n", atNs, cmd.Kind, cmd.Bank, cmd.Col)
+				fmt.Fprintf(w, "%12.2f ns  %-4s bank=%s col=%d\n", cmd.AtNs, cmd.Kind, cmd.Bank, cmd.Col)
 			}
 		}
 	}
-	stats := ctl.ReplayReads(layout.AccessStream())
+	stats, err := sys.StreamEnergy(context.Background(), req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dramsim: %v\n", err)
+		os.Exit(1)
+	}
 	if w != nil {
 		w.Flush()
 	}
 
-	b := f.Power.Energy(stats.Tally, *voltage)
 	tb := report.NewTable(fmt.Sprintf("dramsim: %d weights, %s mapping, %.3f V", *weights, *policy, *voltage),
 		"metric", "value")
-	tb.AddRow("accesses", stats.Accesses())
+	tb.AddRow("accesses", stats.Accesses)
 	tb.AddRow("row-buffer hits", stats.Hits)
 	tb.AddRow("row-buffer misses", stats.Misses)
 	tb.AddRow("row-buffer conflicts", stats.Conflicts)
-	tb.AddRow("hit rate", report.Pct(stats.HitRate()))
+	tb.AddRow("hit rate", report.Pct(stats.HitRate))
 	tb.AddRow("ACT / PRE / RD / REF", fmt.Sprintf("%d / %d / %d / %d",
-		stats.Tally.NACT, stats.Tally.NPRE, stats.Tally.NRD, stats.Tally.NREF))
-	tb.AddRow("makespan", fmt.Sprintf("%.2f us", stats.TotalNs/1000))
-	tb.AddRow("bus utilization", report.Pct(stats.BusUtilization()))
-	tb.AddRow("energy: ACT", fmt.Sprintf("%.1f nJ", b.ActNJ))
-	tb.AddRow("energy: PRE", fmt.Sprintf("%.1f nJ", b.PreNJ))
-	tb.AddRow("energy: RD", fmt.Sprintf("%.1f nJ", b.RdNJ))
-	tb.AddRow("energy: REF", fmt.Sprintf("%.1f nJ", b.RefNJ))
-	tb.AddRow("energy: background", fmt.Sprintf("%.1f nJ", b.BgNJ))
-	tb.AddRow("energy: total", fmt.Sprintf("%.4f mJ", b.TotalMJ()))
+		stats.NACT, stats.NPRE, stats.NRD, stats.NREF))
+	tb.AddRow("makespan", fmt.Sprintf("%.2f us", stats.MakespanNs/1000))
+	tb.AddRow("bus utilization", report.Pct(stats.BusUtilization))
+	tb.AddRow("energy: ACT", fmt.Sprintf("%.1f nJ", stats.Energy.ActNJ))
+	tb.AddRow("energy: PRE", fmt.Sprintf("%.1f nJ", stats.Energy.PreNJ))
+	tb.AddRow("energy: RD", fmt.Sprintf("%.1f nJ", stats.Energy.RdNJ))
+	tb.AddRow("energy: REF", fmt.Sprintf("%.1f nJ", stats.Energy.RefNJ))
+	tb.AddRow("energy: background", fmt.Sprintf("%.1f nJ", stats.Energy.BgNJ))
+	tb.AddRow("energy: total", fmt.Sprintf("%.4f mJ", stats.Energy.TotalMJ()))
 	tb.Render(os.Stdout)
 }

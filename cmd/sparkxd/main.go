@@ -1,13 +1,15 @@
 // Command sparkxd runs the end-to-end SparkXD pipeline (Fig. 7 of the
-// paper) on one network configuration: train a baseline SNN, improve its
-// error tolerance with fault-aware training (Algorithm 1), find the
+// paper) through the public sparkxd SDK: train a baseline SNN, improve
+// its error tolerance with fault-aware training (Algorithm 1), find the
 // maximum tolerable BER, map the weights into safe subarrays of the
 // approximate DRAM (Algorithm 2), and report accuracy, DRAM energy, and
 // throughput.
 //
 // Usage:
 //
-//	sparkxd -neurons 400 -dataset mnist -voltage 1.025
+//	sparkxd single -neurons 400 -dataset mnist -voltage 1.025
+//	sparkxd single -artifacts out/        # persist stage artifacts
+//	sparkxd single -resume out/           # reuse them: no retraining
 //
 //	sparkxd run -neurons 200,400 -datasets mnist,fashion -workers 4
 //	sparkxd run -shard 1/2 -json
@@ -20,25 +22,71 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
-	"sparkxd/internal/core"
-	"sparkxd/internal/dataset"
+	"sparkxd"
 	"sparkxd/internal/report"
 	"sparkxd/internal/sched"
 )
 
+func usage(w *os.File) {
+	fmt.Fprintf(w, `sparkxd — resilient SNN inference on approximate DRAM
+
+Usage:
+  sparkxd <command> [flags]
+
+Commands:
+  single    run the end-to-end pipeline for one configuration
+  run       sweep a (dataset x size) grid on the work-stealing scheduler
+  help      show this message
+
+Run "sparkxd <command> -h" for the command's flags.
+`)
+}
+
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "run" {
-		os.Exit(runSuite(os.Args[2:]))
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches the subcommand and returns the process exit code:
+// 0 success, 1 runtime failure, 2 usage error.
+func run(args []string) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return 2
 	}
-	singleRun()
+	switch args[0] {
+	case "single":
+		return runSingle(ctx, args[1:])
+	case "run":
+		return runSuite(ctx, args[1:])
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+		return 0
+	default:
+		// Back-compat: a leading flag ("sparkxd -neurons 400") routes to
+		// the single-run pipeline.
+		if strings.HasPrefix(args[0], "-") {
+			return runSingle(ctx, args)
+		}
+		fmt.Fprintf(os.Stderr, "sparkxd: unknown command %q\n\n", args[0])
+		usage(os.Stderr)
+		return 2
+	}
 }
 
 // pipelineRecord is the deterministic per-configuration record emitted
@@ -59,7 +107,7 @@ type pipelineRecord struct {
 	Speedup     float64 `json:"speedup,omitempty"`
 }
 
-func runSuite(args []string) int {
+func runSuite(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("sparkxd run", flag.ExitOnError)
 	var (
 		neurons   = fs.String("neurons", "200,400", "comma-separated excitatory neuron counts")
@@ -91,17 +139,14 @@ func runSuite(args []string) int {
 		}
 		sizes = append(sizes, n)
 	}
-	var fls []dataset.Flavor
+	var fls []sparkxd.Dataset
 	for _, tok := range strings.Split(*flavors, ",") {
-		switch strings.TrimSpace(tok) {
-		case "mnist":
-			fls = append(fls, dataset.MNISTLike)
-		case "fashion":
-			fls = append(fls, dataset.FashionLike)
-		default:
-			fmt.Fprintf(os.Stderr, "sparkxd run: unknown dataset %q (mnist|fashion)\n", tok)
+		fl, err := sparkxd.ParseDataset(strings.TrimSpace(tok))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", err)
 			return 2
 		}
+		fls = append(fls, fl)
 	}
 
 	s, err := sched.New(sched.Config{Workers: *workers, Shard: shard, Seed: *seed})
@@ -110,31 +155,38 @@ func runSuite(args []string) int {
 		return 2
 	}
 	type jobCfg struct {
-		name string
-		cfg  core.RunConfig
+		name    string
+		neurons int
+		flavor  sparkxd.Dataset
 	}
 	var cfgs []jobCfg
 	for _, fl := range fls {
 		for _, n := range sizes {
-			cfg := core.DefaultRunConfig(n)
-			cfg.Flavor = fl
-			cfg.Voltage = *voltage
-			cfg.TrainN = *trainN
-			cfg.TestN = *testN
-			cfg.BaseEpochs = *epochs
-			cfg.NetworkSeed = *seed
-			cfgs = append(cfgs, jobCfg{name: fmt.Sprintf("pipeline/%s/N%04d", fl, n), cfg: cfg})
+			cfgs = append(cfgs, jobCfg{
+				name:    fmt.Sprintf("pipeline/%s/N%04d", fl, n),
+				neurons: n,
+				flavor:  fl,
+			})
 		}
 	}
 	for _, jc := range cfgs {
 		jc := jc
 		// Larger networks dominate the runtime: use the neuron count as
 		// the cost hint so big configurations start first.
-		err := s.Add(sched.Job{Name: jc.name, Cost: float64(jc.cfg.Neurons),
+		err := s.Add(sched.Job{Name: jc.name, Cost: float64(jc.neurons),
 			Run: func(*sched.Ctx) (any, error) {
-				// One framework per job: RunConfig evaluation is
-				// read-only on the framework, but isolation is free here.
-				return core.NewFramework().Run(jc.cfg)
+				sys, err := sparkxd.New(
+					sparkxd.WithNeurons(jc.neurons),
+					sparkxd.WithDataset(jc.flavor),
+					sparkxd.WithVoltage(*voltage),
+					sparkxd.WithSampleBudget(*trainN, *testN),
+					sparkxd.WithBaseEpochs(*epochs),
+					sparkxd.WithSeed(*seed),
+				)
+				if err != nil {
+					return nil, err
+				}
+				return sys.Pipeline().Run(ctx)
 			}})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", err)
@@ -155,18 +207,18 @@ func runSuite(args []string) int {
 			rec := pipelineRecord{Job: rep.Name}
 			if rep.Err != nil {
 				rec.Error = report.FirstLine(rep.Err.Error())
-			} else if res, ok := rep.Value.(*core.RunResult); ok {
+			} else if res, ok := rep.Value.(*sparkxd.Result); ok {
 				jc := byName[rep.Name]
 				rec.OK = true
-				rec.Neurons = jc.cfg.Neurons
-				rec.Dataset = jc.cfg.Flavor.String()
-				rec.Voltage = jc.cfg.Voltage
-				rec.BaselineAcc = res.BaselineAcc
-				rec.ImprovedAcc = res.ImprovedAcc
-				rec.BERth = res.BERth
-				rec.EnergyMJ = res.EnergySparkXD.TotalMJ()
-				rec.Savings = res.EnergySavings()
-				rec.Speedup = res.Speedup
+				rec.Neurons = jc.neurons
+				rec.Dataset = jc.flavor.String()
+				rec.Voltage = *voltage
+				rec.BaselineAcc = res.Improved.BaselineAcc
+				rec.ImprovedAcc = res.Evaluation.Accuracy
+				rec.BERth = res.Tolerance.BERth
+				rec.EnergyMJ = res.Energy.SparkXD.TotalMJ
+				rec.Savings = res.Energy.Savings
+				rec.Speedup = res.Energy.Speedup
 			}
 			_ = out.Encode(rec)
 		}
@@ -187,10 +239,10 @@ func runSuite(args []string) int {
 				tb.AddRow(rep.Name, "FAILED: "+report.FirstLine(rep.Err.Error()), "", "", "", "", "")
 				continue
 			}
-			res := rep.Value.(*core.RunResult)
-			tb.AddRow(rep.Name, report.Pct(res.BaselineAcc), report.Pct(res.ImprovedAcc),
-				fmt.Sprintf("%.0e", res.BERth), res.EnergySparkXD.TotalMJ(),
-				report.Pct(res.EnergySavings()), fmt.Sprintf("%.3fx", res.Speedup))
+			res := rep.Value.(*sparkxd.Result)
+			tb.AddRow(rep.Name, report.Pct(res.Improved.BaselineAcc), report.Pct(res.Evaluation.Accuracy),
+				fmt.Sprintf("%.0e", res.Tolerance.BERth), res.Energy.SparkXD.TotalMJ,
+				report.Pct(res.Energy.Savings), fmt.Sprintf("%.3fx", res.Energy.Speedup))
 		}
 		tb.Render(os.Stdout)
 		for _, rep := range ordered {
@@ -207,58 +259,158 @@ func runSuite(args []string) int {
 	return 0
 }
 
-func singleRun() {
+func runSingle(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("sparkxd single", flag.ExitOnError)
 	var (
-		neurons = flag.Int("neurons", 400, "excitatory neurons (paper: 400/900/1600/2500/3600)")
-		flavor  = flag.String("dataset", "mnist", "dataset flavour: mnist or fashion")
-		voltage = flag.Float64("voltage", 1.025, "approximate-DRAM supply voltage [V]")
-		trainN  = flag.Int("train", 300, "training samples")
-		testN   = flag.Int("test", 128, "test samples")
-		epochs  = flag.Int("epochs", 2, "error-free training epochs")
-		seed    = flag.Uint64("seed", 1, "random seed")
+		neurons   = fs.Int("neurons", 400, "excitatory neurons (paper: 400/900/1600/2500/3600)")
+		flavor    = fs.String("dataset", "mnist", "dataset flavour: mnist or fashion")
+		voltage   = fs.Float64("voltage", 1.025, "approximate-DRAM supply voltage [V]")
+		trainN    = fs.Int("train", 300, "training samples")
+		testN     = fs.Int("test", 128, "test samples")
+		epochs    = fs.Int("epochs", 2, "error-free training epochs")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		quiet     = fs.Bool("quiet", false, "suppress progress events on stderr")
+		artifacts = fs.String("artifacts", "", "directory to persist stage artifacts (model, tolerance, placement)")
+		resume    = fs.String("resume", "", "directory with persisted artifacts to resume from (skips training)")
 	)
-	flag.Parse()
-
-	fl := dataset.MNISTLike
-	switch *flavor {
-	case "mnist":
-	case "fashion":
-		fl = dataset.FashionLike
-	default:
-		fmt.Fprintf(os.Stderr, "sparkxd: unknown dataset %q (mnist|fashion)\n", *flavor)
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-
-	cfg := core.DefaultRunConfig(*neurons)
-	cfg.Flavor = fl
-	cfg.Voltage = *voltage
-	cfg.TrainN = *trainN
-	cfg.TestN = *testN
-	cfg.BaseEpochs = *epochs
-	cfg.NetworkSeed = *seed
-
-	fmt.Printf("SparkXD: N%d on %s, approximate DRAM at %.3f V\n", *neurons, fl, *voltage)
-	f := core.NewFramework()
-	res, err := f.Run(cfg)
+	fl, err := sparkxd.ParseDataset(*flavor)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
-		os.Exit(1)
+		return 2
+	}
+
+	opts := []sparkxd.Option{
+		sparkxd.WithNeurons(*neurons),
+		sparkxd.WithDataset(fl),
+		sparkxd.WithVoltage(*voltage),
+		sparkxd.WithSampleBudget(*trainN, *testN),
+		sparkxd.WithBaseEpochs(*epochs),
+		sparkxd.WithSeed(*seed),
+	}
+	if !*quiet {
+		opts = append(opts, sparkxd.WithObserver(func(ev sparkxd.Event) {
+			if ev.Phase == "progress" && ev.Epochs > 0 {
+				fmt.Fprintf(os.Stderr, "progress: %-8s %d/%d\n", ev.Stage, ev.Epoch, ev.Epochs)
+			} else if ev.Phase == "done" {
+				fmt.Fprintf(os.Stderr, "done:     %-8s %s\n", ev.Stage, ev.Message)
+			}
+		}))
+	}
+	sys, err := sparkxd.New(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+		return 2
+	}
+
+	p := sys.Pipeline()
+	if *resume != "" {
+		m, err := loadResumeModel(*resume, *neurons, fl, *trainN, *testN, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+			return 1
+		}
+		if m != nil {
+			p.Improved = m
+			fmt.Fprintf(os.Stderr, "resume: loaded improved model (%s, N%d)\n", m.Dataset, m.Neurons)
+			// The tolerance report is only reusable together with the
+			// model it was measured on; never resume it alone.
+			tolPath := filepath.Join(*resume, "tolerance.json")
+			tol, err := sparkxd.LoadToleranceReport(tolPath)
+			switch {
+			case err == nil:
+				p.Tolerance = tol
+				fmt.Fprintf(os.Stderr, "resume: loaded tolerance report (BERth %.0e)\n", tol.BERth)
+			case !errors.Is(err, os.ErrNotExist):
+				fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+				return 1
+			}
+		}
+	}
+
+	fmt.Printf("SparkXD: N%d on %s, approximate DRAM at %.3f V\n", *neurons, fl, *voltage)
+	res, err := p.Run(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+		return 1
+	}
+	if *artifacts != "" {
+		if err := saveArtifacts(*artifacts, res); err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+			return 1
+		}
 	}
 
 	tb := report.NewTable("pipeline result", "metric", "value")
-	tb.AddRow("baseline accuracy (accurate DRAM)", report.Pct(res.BaselineAcc))
-	tb.AddRow("improved accuracy (approx DRAM, SparkXD)", report.Pct(res.ImprovedAcc))
-	tb.AddRow("maximum tolerable BER", fmt.Sprintf("%.0e", res.BERth))
-	tb.AddRow("DRAM energy, baseline @1.350V", fmt.Sprintf("%.4f mJ", res.EnergyBaseline.TotalMJ()))
-	tb.AddRow("DRAM energy, SparkXD", fmt.Sprintf("%.4f mJ @%.3fV", res.EnergySparkXD.TotalMJ(), res.EnergySparkXD.Voltage))
-	tb.AddRow("DRAM energy savings", report.Pct(res.EnergySavings()))
-	tb.AddRow("speed-up (mapping effect)", fmt.Sprintf("%.3fx", res.Speedup))
-	tb.AddRow("row-buffer hit rate (SparkXD)", report.Pct(res.EnergySparkXD.Stats.HitRate()))
+	tb.AddRow("baseline accuracy (accurate DRAM)", report.Pct(res.Improved.BaselineAcc))
+	tb.AddRow("improved accuracy (approx DRAM, SparkXD)", report.Pct(res.Evaluation.Accuracy))
+	tb.AddRow("maximum tolerable BER", fmt.Sprintf("%.0e", res.Tolerance.BERth))
+	tb.AddRow("DRAM energy, baseline @1.350V", fmt.Sprintf("%.4f mJ", res.Energy.Baseline.TotalMJ))
+	tb.AddRow("DRAM energy, SparkXD", fmt.Sprintf("%.4f mJ @%.3fV", res.Energy.SparkXD.TotalMJ, res.Energy.SparkXD.Voltage))
+	tb.AddRow("DRAM energy savings", report.Pct(res.Energy.Savings))
+	tb.AddRow("speed-up (mapping effect)", fmt.Sprintf("%.3fx", res.Energy.Speedup))
+	tb.AddRow("row-buffer hit rate (SparkXD)", report.Pct(res.Energy.SparkXD.HitRate))
 	tb.Render(os.Stdout)
 
 	curve := report.NewTable("error-tolerance curve of the improved model", "BER", "accuracy")
-	for _, p := range res.Curve {
-		curve.AddRow(fmt.Sprintf("%.0e", p.BER), report.Pct(p.Acc))
+	for _, pt := range res.Tolerance.Curve {
+		curve.AddRow(fmt.Sprintf("%.0e", pt.BER), report.Pct(pt.Acc))
 	}
 	curve.Render(os.Stdout)
+	return 0
+}
+
+// loadResumeModel loads dir/improved.json if present. A missing file
+// means "nothing to resume" (nil, nil); a corrupt file or a model that
+// does not match the requested configuration is an error — silently
+// computing results from a mismatched checkpoint would be worse than
+// failing.
+func loadResumeModel(dir string, neurons int, fl sparkxd.Dataset, trainN, testN int, seed uint64) (*sparkxd.TrainedModel, error) {
+	path := filepath.Join(dir, "improved.json")
+	m, err := sparkxd.LoadTrainedModel(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if m.Neurons != neurons {
+		return nil, fmt.Errorf("resume: %s was trained with %d neurons, but -neurons is %d", path, m.Neurons, neurons)
+	}
+	if want := fl.String(); m.Dataset != "" && m.Dataset != want {
+		return nil, fmt.Errorf("resume: %s was trained on %q, but -dataset is %q", path, m.Dataset, want)
+	}
+	if m.TrainSamples != 0 && (m.TrainSamples != trainN || m.TestSamples != testN) {
+		return nil, fmt.Errorf("resume: %s was measured with -train %d -test %d, but got -train %d -test %d",
+			path, m.TrainSamples, m.TestSamples, trainN, testN)
+	}
+	if m.Seed != seed {
+		return nil, fmt.Errorf("resume: %s was trained with -seed %d, but got -seed %d", path, m.Seed, seed)
+	}
+	return m, nil
+}
+
+// saveArtifacts persists the resumable stage artifacts to dir.
+func saveArtifacts(dir string, res *sparkxd.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		v    any
+	}{
+		{"improved.json", res.Improved},
+		{"tolerance.json", res.Tolerance},
+		{"placement.json", res.Placement},
+		{"evaluation.json", res.Evaluation},
+		{"energy.json", res.Energy},
+	}
+	for _, f := range files {
+		if err := sparkxd.SaveArtifact(filepath.Join(dir, f.name), f.v); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,8 +1,25 @@
-// Package sparkxd is a from-scratch Go reproduction of "SparkXD: A
-// Framework for Resilient and Energy-Efficient Spiking Neural Network
-// Inference using Approximate DRAM" (Putra, Hanif, Shafique — DAC 2021).
+// Package sparkxd is the public SDK of a from-scratch Go reproduction
+// of "SparkXD: A Framework for Resilient and Energy-Efficient Spiking
+// Neural Network Inference using Approximate DRAM" (Putra, Hanif,
+// Shafique — DAC 2021).
 //
-// The implementation lives under internal/ (see DESIGN.md for the system
+// Build a System with New and functional options, then drive the staged
+// Pipeline: Train -> ImproveTolerance (Algorithm 1) -> AnalyzeTolerance
+// (the maximum-tolerable-BER search) -> Map (Algorithm 2) ->
+// EvaluateUnderErrors -> EnergyReport. Every stage takes a
+// context.Context (cancellation is checked inside the epoch and sample
+// loops), returns a typed artifact that round-trips through JSON
+// (TrainedModel, ToleranceReport, Placement, Evaluation), and can be run
+// independently, composed by Pipeline.Run, or resumed from a persisted
+// artifact. Progress arrives as structured events through WithObserver
+// instead of polling.
+//
+//	sys, _ := sparkxd.New(sparkxd.WithNeurons(400), sparkxd.WithVoltage(sparkxd.V1025))
+//	p := sys.Pipeline()
+//	res, err := p.Run(ctx)
+//
+// See the package Example for the staged save/resume flow. The
+// algorithmic kernel lives under internal/ (DESIGN.md has the system
 // inventory), runnable binaries under cmd/, usage examples under
 // examples/, and the per-figure benchmark harness in bench_test.go.
 package sparkxd

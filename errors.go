@@ -1,0 +1,51 @@
+package sparkxd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sparkxd/internal/mapping"
+)
+
+// Sentinel errors of the public API. Wrapped causes stay inspectable:
+// errors.Is(err, ErrCancelled) and errors.Is(err, context.Canceled) are
+// both true for a cancelled stage, and ErrNoSafeSubarrays carries the
+// internal mapping diagnosis beneath it.
+var (
+	// ErrCancelled marks a pipeline stage that stopped because its
+	// context was cancelled or timed out.
+	ErrCancelled = errors.New("sparkxd: cancelled")
+
+	// ErrNoSafeSubarrays is returned by Map when the subarrays whose BER
+	// stays below the tolerance threshold cannot hold the weight image at
+	// the requested voltage. MapAdaptive relaxes the threshold instead.
+	ErrNoSafeSubarrays = errors.New("sparkxd: safe subarrays cannot hold the model")
+
+	// ErrMissingArtifact is returned by a pipeline stage whose input
+	// artifact is absent — run the producing stage first, or assign a
+	// persisted artifact to the pipeline before resuming.
+	ErrMissingArtifact = errors.New("sparkxd: required pipeline artifact missing")
+)
+
+// wrapStage normalizes an error escaping a pipeline stage: cancellation
+// and capacity failures are tagged with their public sentinels, and every
+// error is prefixed with the stage that produced it.
+func wrapStage(stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("sparkxd: %s: %w: %w", stage, ErrCancelled, err)
+	case errors.Is(err, mapping.ErrInsufficientSafeCapacity):
+		return fmt.Errorf("sparkxd: %s: %w: %w", stage, ErrNoSafeSubarrays, err)
+	default:
+		return fmt.Errorf("sparkxd: %s: %w", stage, err)
+	}
+}
+
+// missingArtifact builds an ErrMissingArtifact with stage guidance.
+func missingArtifact(stage, want, hint string) error {
+	return fmt.Errorf("%w: %s needs %s (%s)", ErrMissingArtifact, stage, want, hint)
+}

@@ -1,69 +1,72 @@
-// Faultaware: demonstrates what the paper's Algorithm 1 buys.
+// Faultaware: demonstrates what the paper's Algorithm 1 buys, using the
+// staged public API.
 //
-// It trains one SNN normally and one with fault-aware training, then
-// evaluates both under approximate-DRAM bit errors across the BER sweep,
-// printing the Fig. 11-style comparison: the naive model degrades as the
-// error rate grows, the fault-aware model stays near the error-free
-// baseline.
+// It runs the Train and ImproveTolerance stages separately, then
+// evaluates the naive and the fault-aware model under approximate-DRAM
+// bit errors across a BER sweep, printing the Fig. 11-style comparison:
+// the naive model degrades as the error rate grows, the fault-aware
+// model stays near the error-free baseline.
 //
 //	go run ./examples/faultaware
+//	go run ./examples/faultaware -tiny   # CI smoke budget
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"sparkxd/internal/core"
-	"sparkxd/internal/dataset"
-	"sparkxd/internal/errmodel"
+	"sparkxd"
 	"sparkxd/internal/report"
-	"sparkxd/internal/rng"
-	"sparkxd/internal/snn"
 )
 
 func main() {
-	const neurons = 150
-	f := core.NewFramework()
+	tiny := flag.Bool("tiny", false, "shrink budgets for a seconds-long smoke run")
+	flag.Parse()
 
-	dcfg := dataset.DefaultConfig(dataset.MNISTLike)
-	dcfg.Train, dcfg.Test = 250, 120
-	train, test, err := dataset.Generate(dcfg)
+	neurons, trainN, testN := 150, 250, 120
+	if *tiny {
+		neurons, trainN, testN = 40, 60, 30
+	}
+
+	sys, err := sparkxd.New(
+		sparkxd.WithNeurons(neurons),
+		sparkxd.WithSampleBudget(trainN, testN),
+		sparkxd.WithBaseEpochs(2),
+		sparkxd.WithBERSchedule(1e-7, 1e-5, 1e-3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	// Baseline: trained without any DRAM errors.
-	baseline, err := snn.New(snn.DefaultConfig(neurons), rng.New(1))
+	// Stage 1: error-free baseline training.
+	p := sys.Pipeline()
+	naive, err := p.Train(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for e := 0; e < 2; e++ {
-		baseline.TrainEpoch(train, rng.New(uint64(10+e)))
-	}
-	baseline.AssignLabels(train, rng.New(20))
-
-	// Improved: Algorithm 1 fault-aware training on top of the baseline.
-	tcfg := core.DefaultTrainConfig()
-	tcfg.Rates = []float64{1e-7, 1e-5, 1e-3}
-	res, err := f.ImproveErrorTolerance(baseline, train, test, tcfg)
+	// Stage 2: Algorithm 1 fault-aware training on top of the baseline.
+	aware, err := p.ImproveTolerance(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("error-free baseline accuracy: %.1f%%\n\n", res.BaselineAcc*100)
+	fmt.Printf("error-free baseline accuracy: %.1f%%\n\n", aware.BaselineAcc*100)
 
-	layout, err := f.LayoutFor(baseline, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
 	tb := report.NewTable("accuracy under approximate-DRAM bit errors",
 		"BER", "naive model", "fault-aware model (SparkXD)")
 	for i, ber := range []float64{1e-9, 1e-7, 1e-5, 1e-3, 1e-2} {
-		profile, err := errmodel.UniformProfile(f.Geom, ber, f.DeviceSeed)
+		// The shared evalSeed pairs both evaluations on identical spike
+		// trains, removing encoder noise from the comparison.
+		accNaive, err := sys.EvaluateModelAtBER(ctx, naive, ber, uint64(40+i), 99)
 		if err != nil {
 			log.Fatal(err)
 		}
-		accNaive := f.EvaluateUnderErrors(baseline, test, layout, profile, uint64(40+i), 99)
-		accAware := f.EvaluateUnderErrors(res.Model, test, layout, profile, uint64(40+i), 99)
+		accAware, err := sys.EvaluateModelAtBER(ctx, aware, ber, uint64(40+i), 99)
+		if err != nil {
+			log.Fatal(err)
+		}
 		tb.AddRow(fmt.Sprintf("%.0e", ber), report.Pct(accNaive), report.Pct(accAware))
 	}
 	tb.Render(log.Writer())

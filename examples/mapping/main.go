@@ -1,70 +1,69 @@
-// Mapping: explores the paper's Algorithm 2 DRAM mapping.
+// Mapping: explores the paper's Algorithm 2 DRAM mapping through the
+// public SDK.
 //
 // It characterizes an approximate-DRAM device at a reduced voltage,
 // partitions subarrays into safe/unsafe at a BER threshold, places a
-// weight image with both the baseline and the SparkXD policy, and replays
-// the inference stream through the memory controller to show where the
-// row-buffer hits and the multi-bank overlap come from.
+// weight image with both the baseline and the SparkXD policy, and
+// replays the inference stream through the memory controller to show
+// where the row-buffer hits and the multi-bank overlap come from.
 //
 //	go run ./examples/mapping
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"sparkxd/internal/core"
+	"sparkxd"
 	"sparkxd/internal/report"
-	"sparkxd/internal/voltscale"
 )
 
 func main() {
-	f := core.NewFramework()
 	const weights = 784 * 900 // the paper's N900 network
-	const voltage = voltscale.V1100
+	const voltage = sparkxd.V1100
 	const berTh = 1e-4
 
-	profile, err := f.ProfileAt(voltage)
+	sys, err := sparkxd.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	safe := profile.SafeCount(berTh)
+	ctx := context.Background()
+
+	profile, err := sys.DeviceProfile(voltage)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("device at %.3f V: mean BER %.2e, worst subarray %.2e\n",
 		voltage, profile.MeanBER(), profile.MaxBER())
 	fmt.Printf("safe subarrays at BERth=%.0e: %d of %d\n\n",
-		berTh, safe, len(profile.SubarrayBER))
+		berTh, profile.SafeCount(berTh), len(profile.SubarrayBER))
 
-	baseline, err := f.LayoutForWeights(weights, nil)
+	base, err := sys.StreamEnergy(ctx, sparkxd.StreamRequest{
+		WeightCount: weights, Policy: sparkxd.PolicyBaseline, Voltage: voltage})
 	if err != nil {
 		log.Fatal(err)
 	}
-	spark, _, effTh, err := f.MapWeightsAdaptive(weights, voltage, berTh)
+	spark, err := sys.StreamEnergy(ctx, sparkxd.StreamRequest{
+		WeightCount: weights, Policy: sparkxd.PolicySparkXD, Voltage: voltage, BERth: berTh})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if effTh != berTh {
-		fmt.Printf("note: threshold relaxed to %.0e to fit the image\n", effTh)
+	if spark.EffectiveBERth != berTh {
+		fmt.Printf("note: threshold relaxed to %.0e to fit the image\n", spark.EffectiveBERth)
 	}
 
 	tb := report.NewTable("mapping comparison (N900 weights, 1.100 V)",
 		"metric", "baseline", "SparkXD (Algorithm 2)")
-	eb, err := f.EvaluateEnergy(baseline, voltage)
-	if err != nil {
-		log.Fatal(err)
-	}
-	es, err := f.EvaluateEnergy(spark, voltage)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tb.AddRow("banks used", baseline.BanksUsed(), spark.BanksUsed())
-	tb.AddRow("subarrays used", baseline.SubarraysUsed(), spark.SubarraysUsed())
-	tb.AddRow("row-buffer hit rate", report.Pct(eb.Stats.HitRate()), report.Pct(es.Stats.HitRate()))
-	tb.AddRow("makespan [us]", eb.Stats.TotalNs/1000, es.Stats.TotalNs/1000)
-	tb.AddRow("bus utilization", report.Pct(eb.Stats.BusUtilization()), report.Pct(es.Stats.BusUtilization()))
-	tb.AddRow("DRAM energy [mJ]", eb.TotalMJ(), es.TotalMJ())
+	tb.AddRow("banks used", base.BanksUsed, spark.BanksUsed)
+	tb.AddRow("subarrays used", base.SubarraysUsed, spark.SubarraysUsed)
+	tb.AddRow("row-buffer hit rate", report.Pct(base.HitRate), report.Pct(spark.HitRate))
+	tb.AddRow("makespan [us]", base.MakespanNs/1000, spark.MakespanNs/1000)
+	tb.AddRow("bus utilization", report.Pct(base.BusUtilization), report.Pct(spark.BusUtilization))
+	tb.AddRow("DRAM energy [mJ]", base.Energy.TotalMJ(), spark.Energy.TotalMJ())
 	tb.Render(os.Stdout)
 
 	fmt.Printf("\nspeed-up from bank-interleaved, safe-subarray mapping: %.3fx\n",
-		eb.Stats.TotalNs/es.Stats.TotalNs)
+		base.MakespanNs/spark.MakespanNs)
 }

@@ -1,38 +1,57 @@
-// Quickstart: the smallest end-to-end SparkXD run.
+// Quickstart: the smallest end-to-end SparkXD run through the public
+// SDK.
 //
-// It trains a small unsupervised SNN on the synthetic MNIST flavour,
-// applies fault-aware training against approximate-DRAM bit errors,
-// finds the maximum tolerable BER, maps the weights into safe DRAM
-// subarrays, and prints the accuracy/energy outcome.
+// It builds a System with functional options, runs the staged pipeline
+// (baseline training, fault-aware training against approximate-DRAM bit
+// errors, maximum-tolerable-BER search, safe-subarray mapping), and
+// prints the accuracy/energy outcome.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -tiny   # CI smoke budget, a few seconds
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"sparkxd/internal/core"
+	"sparkxd"
 )
 
 func main() {
-	f := core.NewFramework()
+	tiny := flag.Bool("tiny", false, "shrink budgets for a seconds-long smoke run")
+	flag.Parse()
 
-	cfg := core.DefaultRunConfig(100) // 100 excitatory neurons: runs in seconds
-	cfg.TrainN, cfg.TestN = 200, 100
-	cfg.BaseEpochs = 2
+	neurons, trainN, testN := 100, 200, 100
+	rates := []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3}
+	if *tiny {
+		neurons, trainN, testN = 40, 60, 30
+		rates = []float64{1e-5, 1e-3}
+	}
 
-	res, err := f.Run(cfg)
+	sys, err := sparkxd.New(
+		sparkxd.WithNeurons(neurons),
+		sparkxd.WithSampleBudget(trainN, testN),
+		sparkxd.WithBaseEpochs(2),
+		sparkxd.WithBERSchedule(rates...),
+		sparkxd.WithVoltage(sparkxd.V1025),
+	)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	res, err := sys.Pipeline().Run(context.Background())
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
 
 	fmt.Println("SparkXD quickstart")
-	fmt.Printf("  baseline accuracy (accurate DRAM @1.350V): %5.1f%%\n", res.BaselineAcc*100)
-	fmt.Printf("  improved accuracy (approx   DRAM @1.025V): %5.1f%%\n", res.ImprovedAcc*100)
-	fmt.Printf("  maximum tolerable BER:                     %.0e\n", res.BERth)
-	fmt.Printf("  DRAM energy baseline:                      %.4f mJ\n", res.EnergyBaseline.TotalMJ())
-	fmt.Printf("  DRAM energy SparkXD:                       %.4f mJ\n", res.EnergySparkXD.TotalMJ())
-	fmt.Printf("  DRAM energy savings:                       %5.1f%%\n", res.EnergySavings()*100)
-	fmt.Printf("  throughput (mapping speed-up):             %.3fx\n", res.Speedup)
+	fmt.Printf("  baseline accuracy (accurate DRAM @1.350V): %5.1f%%\n", res.Improved.BaselineAcc*100)
+	fmt.Printf("  improved accuracy (approx   DRAM @1.025V): %5.1f%%\n", res.Evaluation.Accuracy*100)
+	fmt.Printf("  maximum tolerable BER:                     %.0e\n", res.Tolerance.BERth)
+	fmt.Printf("  DRAM energy baseline:                      %.4f mJ\n", res.Energy.Baseline.TotalMJ)
+	fmt.Printf("  DRAM energy SparkXD:                       %.4f mJ\n", res.Energy.SparkXD.TotalMJ)
+	fmt.Printf("  DRAM energy savings:                       %5.1f%%\n", res.Energy.Savings*100)
+	fmt.Printf("  throughput (mapping speed-up):             %.3fx\n", res.Energy.Speedup)
 }

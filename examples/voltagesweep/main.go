@@ -1,4 +1,5 @@
-// Voltagesweep: the approximate-DRAM characterization study.
+// Voltagesweep: the approximate-DRAM characterization study, through
+// the public SDK.
 //
 // For each supply voltage the paper evaluates, it prints the circuit
 // model's timing parameters, the raw bit error rate, the per-access
@@ -10,46 +11,49 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"sparkxd/internal/core"
-	"sparkxd/internal/dram"
+	"sparkxd"
 	"sparkxd/internal/report"
-	"sparkxd/internal/voltscale"
 )
 
 func main() {
-	f := core.NewFramework()
 	const weights = 784 * 900
+
+	sys, err := sparkxd.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	tb := report.NewTable("approximate DRAM characterization (LPDDR3-1600 4Gb)",
 		"Vsupply", "tRCD [ns]", "tRAS [ns]", "tRP [ns]", "BER",
 		"hit [nJ]", "conflict [nJ]", "stream energy [mJ]", "saving")
 	var baseMJ float64
-	for _, v := range voltscale.PaperVoltages() {
-		layout, _, _, err := f.MapWeightsAdaptive(weights, v, 1e-3)
+	for _, v := range sparkxd.PaperVoltages() {
+		op := sys.Characterize(v)
+		stats, err := sys.StreamEnergy(ctx, sparkxd.StreamRequest{
+			WeightCount: weights, Policy: sparkxd.PolicySparkXD, Voltage: v, BERth: 1e-3})
 		if err != nil {
 			log.Fatal(err)
 		}
-		e, err := f.EvaluateEnergy(layout, v)
-		if err != nil {
-			log.Fatal(err)
-		}
+		mj := stats.Energy.TotalMJ()
 		if baseMJ == 0 {
-			baseMJ = e.TotalMJ()
+			baseMJ = mj
 		}
 		tb.AddRow(
 			fmt.Sprintf("%.3f", v),
-			f.Circuit.TRCD(v),
-			f.Circuit.TRAS(v),
-			f.Circuit.TRP(v),
-			fmt.Sprintf("%.1e", f.Circuit.BER(v)),
-			f.Power.AccessEnergyNJ(dram.AccessHit, v),
-			f.Power.AccessEnergyNJ(dram.AccessConflict, v),
-			e.TotalMJ(),
-			report.Pct(1-e.TotalMJ()/baseMJ),
+			op.TRCDns,
+			op.TRASns,
+			op.TRPns,
+			fmt.Sprintf("%.1e", op.RawBER),
+			op.HitEnergyNJ,
+			op.ConflictEnergyNJ,
+			mj,
+			report.Pct(1-mj/baseMJ),
 		)
 	}
 	tb.Render(os.Stdout)

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,6 +50,9 @@ type Framework struct {
 	DeviceSeed uint64
 	// Format is the stored weight representation (FP32 in the paper).
 	Format quant.Format
+	// Observer, when non-nil, receives structured progress events from
+	// the training and analysis loops.
+	Observer Observer
 }
 
 // NewFramework returns the paper's experimental setup: LPDDR3-1600 4Gb,
@@ -125,12 +129,22 @@ func (f *Framework) CorruptWeights(w []float32, layout *mapping.Layout,
 // (paired evaluation, which removes encoder noise from the comparison).
 func (f *Framework) EvaluateUnderErrors(net *snn.Network, test *dataset.Dataset,
 	layout *mapping.Layout, profile *errmodel.Profile, injectSeed, evalSeed uint64) float64 {
+	acc, _ := f.EvaluateUnderErrorsCtx(context.Background(), net, test, layout, profile, injectSeed, evalSeed)
+	return acc
+}
+
+// EvaluateUnderErrorsCtx is EvaluateUnderErrors with cooperative
+// cancellation (checked between test samples); a cancelled evaluation
+// returns ctx.Err().
+func (f *Framework) EvaluateUnderErrorsCtx(ctx context.Context, net *snn.Network,
+	test *dataset.Dataset, layout *mapping.Layout, profile *errmodel.Profile,
+	injectSeed, evalSeed uint64) (float64, error) {
 	w, _ := f.CorruptWeights(net.WeightsFlat(), layout, profile, rng.New(injectSeed))
 	clone := net.Clone()
 	if err := clone.SetWeightsFlat(w); err != nil {
 		panic("core: " + err.Error())
 	}
-	return clone.Evaluate(test, rng.New(evalSeed))
+	return clone.EvaluateCtx(ctx, test, rng.New(evalSeed))
 }
 
 // TrainConfig parameterizes Algorithm 1 (fault-aware training).
@@ -182,8 +196,10 @@ type RatePoint struct {
 // weak cells), retrains for EpochsPerRate epochs, and evaluates under the
 // same error rate. The last rate whose accuracy stays within AccBound of
 // the baseline defines the provisional BERth. The input network is not
-// modified; the improved model is returned.
-func (f *Framework) ImproveErrorTolerance(baseline *snn.Network,
+// modified; the improved model is returned. The context is checked
+// inside the per-sample training and evaluation loops, so cancellation
+// takes effect promptly.
+func (f *Framework) ImproveErrorTolerance(ctx context.Context, baseline *snn.Network,
 	train, test *dataset.Dataset, cfg TrainConfig) (*TrainResult, error) {
 	if len(cfg.Rates) == 0 {
 		return nil, errors.New("core: empty BER schedule")
@@ -199,11 +215,15 @@ func (f *Framework) ImproveErrorTolerance(baseline *snn.Network,
 
 	layout, err := f.LayoutFor(baseline, nil) // training assumes baseline mapping
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: improve-tolerance layout: %w", err)
 	}
 	root := rng.New(cfg.Seed)
 	evalSeed := root.Derive("eval").Uint64()
-	acc0 := baseline.Evaluate(test, rng.New(evalSeed))
+	acc0, err := baseline.EvaluateCtx(ctx, test, rng.New(evalSeed))
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline evaluation: %w", err)
+	}
+	f.emit(Event{Stage: "improve", Phase: "start", Epochs: len(cfg.Rates) * cfg.EpochsPerRate, Acc: acc0})
 
 	modelTemp := baseline.Clone()
 	res := &TrainResult{BaselineAcc: acc0, BERth: 0}
@@ -212,7 +232,7 @@ func (f *Framework) ImproveErrorTolerance(baseline *snn.Network,
 	for i, rate := range cfg.Rates {
 		profile, err := errmodel.UniformProfile(f.Geom, rate, f.DeviceSeed)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: profile at BER %.0e: %w", rate, err)
 		}
 		for e := 0; e < cfg.EpochsPerRate; e++ {
 			// Inject errors into the stored weights, load (sanitized),
@@ -220,13 +240,22 @@ func (f *Framework) ImproveErrorTolerance(baseline *snn.Network,
 			w, _ := f.CorruptWeights(modelTemp.WeightsFlat(), layout, profile,
 				root.DeriveIndex("inject", i*cfg.EpochsPerRate+e))
 			if err := modelTemp.SetWeightsFlat(w); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("core: load corrupted weights: %w", err)
 			}
-			modelTemp.TrainEpoch(train, root.DeriveIndex("train", i*cfg.EpochsPerRate+e))
+			if err := modelTemp.TrainEpochCtx(ctx, train, root.DeriveIndex("train", i*cfg.EpochsPerRate+e)); err != nil {
+				return nil, fmt.Errorf("core: fault-aware epoch at BER %.0e: %w", rate, err)
+			}
+			f.emit(Event{Stage: "improve", Phase: "progress",
+				Epoch: i*cfg.EpochsPerRate + e + 1, Epochs: len(cfg.Rates) * cfg.EpochsPerRate, BER: rate})
 		}
-		modelTemp.AssignLabels(train, root.DeriveIndex("assign", i))
-		acc := f.EvaluateUnderErrors(modelTemp, test, layout, profile,
+		if err := modelTemp.AssignLabelsCtx(ctx, train, root.DeriveIndex("assign", i)); err != nil {
+			return nil, fmt.Errorf("core: label assignment at BER %.0e: %w", rate, err)
+		}
+		acc, err := f.EvaluateUnderErrorsCtx(ctx, modelTemp, test, layout, profile,
 			root.DeriveIndex("evalinject", i).Uint64(), evalSeed)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluation at BER %.0e: %w", rate, err)
+		}
 		res.PerRate = append(res.PerRate, RatePoint{BER: rate, Acc: acc})
 		if acc >= acc0-cfg.AccBound {
 			best = modelTemp.Clone()
@@ -234,6 +263,7 @@ func (f *Framework) ImproveErrorTolerance(baseline *snn.Network,
 		}
 	}
 	res.Model = best
+	f.emit(Event{Stage: "improve", Phase: "done", BER: res.BERth, Acc: acc0})
 	return res, nil
 }
 
@@ -243,8 +273,9 @@ func (f *Framework) ImproveErrorTolerance(baseline *snn.Network,
 // BER — the largest rate whose accuracy stays within accBound of
 // baselineAcc — together with the full tolerance curve. The paper relies
 // on the curve being generally decreasing (Fig. 8), so the search keeps
-// the last passing rate.
-func (f *Framework) AnalyzeErrorTolerance(model *snn.Network,
+// the last passing rate. The context is checked inside the per-sample
+// evaluation loops.
+func (f *Framework) AnalyzeErrorTolerance(ctx context.Context, model *snn.Network,
 	test *dataset.Dataset, rates []float64, baselineAcc, accBound float64,
 	seed uint64) (float64, []RatePoint, error) {
 	if len(rates) == 0 {
@@ -252,8 +283,9 @@ func (f *Framework) AnalyzeErrorTolerance(model *snn.Network,
 	}
 	layout, err := f.LayoutFor(model, nil)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, fmt.Errorf("core: analyze-tolerance layout: %w", err)
 	}
+	f.emit(Event{Stage: "analyze", Phase: "start", Epochs: len(rates)})
 	root := rng.New(seed)
 	evalSeed := root.Derive("eval").Uint64()
 	berTh := 0.0
@@ -261,15 +293,20 @@ func (f *Framework) AnalyzeErrorTolerance(model *snn.Network,
 	for i, rate := range rates {
 		profile, err := errmodel.UniformProfile(f.Geom, rate, f.DeviceSeed)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, fmt.Errorf("core: profile at BER %.0e: %w", rate, err)
 		}
-		acc := f.EvaluateUnderErrors(model, test, layout, profile,
+		acc, err := f.EvaluateUnderErrorsCtx(ctx, model, test, layout, profile,
 			root.DeriveIndex("inject", i).Uint64(), evalSeed)
+		if err != nil {
+			return 0, nil, fmt.Errorf("core: tolerance evaluation at BER %.0e: %w", rate, err)
+		}
 		curve = append(curve, RatePoint{BER: rate, Acc: acc})
+		f.emit(Event{Stage: "analyze", Phase: "progress", Epoch: i + 1, Epochs: len(rates), BER: rate, Acc: acc})
 		if acc >= baselineAcc-accBound {
 			berTh = rate
 		}
 	}
+	f.emit(Event{Stage: "analyze", Phase: "done", BER: berTh})
 	return berTh, curve, nil
 }
 
@@ -285,12 +322,12 @@ func (f *Framework) ProfileAt(v float64) (*errmodel.Profile, error) {
 func (f *Framework) MapModel(net *snn.Network, v, berTh float64) (*mapping.Layout, *errmodel.Profile, error) {
 	profile, err := f.ProfileAt(v)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("core: device profile at %.3f V: %w", v, err)
 	}
 	safe := profile.SafeSubarrays(berTh)
 	layout, err := f.LayoutFor(net, safe)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("core: map at %.3f V, BERth %.0e: %w", v, berTh, err)
 	}
 	return layout, profile, nil
 }
@@ -304,7 +341,7 @@ func (f *Framework) MapModel(net *snn.Network, v, berTh float64) (*mapping.Layou
 func (f *Framework) MapWeightsAdaptive(weightCount int, v, berTh float64) (*mapping.Layout, *errmodel.Profile, float64, error) {
 	profile, err := f.ProfileAt(v)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, fmt.Errorf("core: device profile at %.3f V: %w", v, err)
 	}
 	th := berTh
 	if th <= 0 {
@@ -347,7 +384,7 @@ func (e EnergyResult) String() string {
 func (f *Framework) EvaluateEnergy(layout *mapping.Layout, v float64) (EnergyResult, error) {
 	ctl, err := memctrl.New(f.Geom, f.Circuit.Timing(v))
 	if err != nil {
-		return EnergyResult{}, err
+		return EnergyResult{}, fmt.Errorf("core: controller at %.3f V: %w", v, err)
 	}
 	stats := ctl.ReplayReads(layout.AccessStream())
 	return EnergyResult{
@@ -358,139 +395,8 @@ func (f *Framework) EvaluateEnergy(layout *mapping.Layout, v float64) (EnergyRes
 	}, nil
 }
 
-// RunConfig drives the end-to-end pipeline for one network size and
-// dataset (everything Fig. 7 takes as input).
-type RunConfig struct {
-	Neurons     int
-	Flavor      dataset.Flavor
-	TrainN      int
-	TestN       int
-	BaseEpochs  int
-	Train       TrainConfig
-	Voltage     float64 // approximate-DRAM supply voltage
-	NetworkSeed uint64
-}
-
-// DefaultRunConfig returns a laptop-fast end-to-end configuration.
-func DefaultRunConfig(neurons int) RunConfig {
-	return RunConfig{
-		Neurons:     neurons,
-		Flavor:      dataset.MNISTLike,
-		TrainN:      300,
-		TestN:       128,
-		BaseEpochs:  2,
-		Train:       DefaultTrainConfig(),
-		Voltage:     voltscale.V1025,
-		NetworkSeed: 1,
-	}
-}
-
-// RunResult is the outcome of the full pipeline.
-type RunResult struct {
-	Baseline    *snn.Network
-	Improved    *snn.Network
-	BaselineAcc float64
-	ImprovedAcc float64 // under errors at the run voltage, SparkXD mapping
-	BERth       float64
-	Curve       []RatePoint
-	// Energy at nominal voltage with baseline mapping vs run voltage
-	// with SparkXD mapping (the Fig. 12(a) comparison).
-	EnergyBaseline EnergyResult
-	EnergySparkXD  EnergyResult
-	// Speedup is baseline makespan / SparkXD makespan (Fig. 12(b)).
-	Speedup float64
-}
-
-// EnergySavings returns the fractional DRAM energy saving of SparkXD.
-func (r *RunResult) EnergySavings() float64 {
-	base := r.EnergyBaseline.TotalMJ()
-	if base == 0 {
-		return 0
-	}
-	return 1 - r.EnergySparkXD.TotalMJ()/base
-}
-
-// Run executes the whole SparkXD pipeline: train a baseline SNN, improve
-// its error tolerance (Algorithm 1), analyze the maximum tolerable BER,
-// map the improved model with Algorithm 2 at the requested voltage, and
-// evaluate accuracy, energy, and throughput.
-func (f *Framework) Run(cfg RunConfig) (*RunResult, error) {
-	if err := f.Validate(); err != nil {
-		return nil, err
-	}
-	dcfg := dataset.DefaultConfig(cfg.Flavor)
-	dcfg.Train, dcfg.Test = cfg.TrainN, cfg.TestN
-	train, test, err := dataset.Generate(dcfg)
-	if err != nil {
-		return nil, err
-	}
-
-	// Baseline SNN trained without DRAM errors.
-	netCfg := snn.DefaultConfig(cfg.Neurons)
-	baseline, err := snn.New(netCfg, rng.New(cfg.NetworkSeed))
-	if err != nil {
-		return nil, err
-	}
-	root := rng.New(cfg.NetworkSeed).Derive("run")
-	for e := 0; e < cfg.BaseEpochs; e++ {
-		baseline.TrainEpoch(train, root.DeriveIndex("base-epoch", e))
-	}
-	baseline.AssignLabels(train, root.Derive("base-assign"))
-
-	// Phase 1: fault-aware training (Algorithm 1).
-	tr, err := f.ImproveErrorTolerance(baseline, train, test, cfg.Train)
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 2: tolerance analysis on the improved model.
-	berTh, curve, err := f.AnalyzeErrorTolerance(tr.Model, test, cfg.Train.Rates,
-		tr.BaselineAcc, cfg.Train.AccBound, cfg.Train.Seed+1)
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 3: DRAM mapping at the target voltage.
-	layout, profile, err := f.MapModel(tr.Model, cfg.Voltage, berTh)
-	if err != nil {
-		return nil, err
-	}
-	baseLayout, err := f.LayoutFor(baseline, nil)
-	if err != nil {
-		return nil, err
-	}
-
-	// Evaluations.
-	improvedAcc := f.EvaluateUnderErrors(tr.Model, test, layout, profile,
-		cfg.Train.Seed+2, cfg.Train.Seed+3)
-	eBase, err := f.EvaluateEnergy(baseLayout, voltscale.VNominal)
-	if err != nil {
-		return nil, err
-	}
-	eSpark, err := f.EvaluateEnergy(layout, cfg.Voltage)
-	if err != nil {
-		return nil, err
-	}
-	speedup := 1.0
-	if eSpark.Stats.TotalNs > 0 {
-		// Throughput comparison at matched (nominal) timing isolates the
-		// mapping effect, as in Fig. 12(b).
-		eSparkNominal, err := f.EvaluateEnergy(layout, voltscale.VNominal)
-		if err != nil {
-			return nil, err
-		}
-		speedup = eBase.Stats.TotalNs / eSparkNominal.Stats.TotalNs
-	}
-
-	return &RunResult{
-		Baseline:       baseline,
-		Improved:       tr.Model,
-		BaselineAcc:    tr.BaselineAcc,
-		ImprovedAcc:    improvedAcc,
-		BERth:          berTh,
-		Curve:          curve,
-		EnergyBaseline: eBase,
-		EnergySparkXD:  eSpark,
-		Speedup:        speedup,
-	}, nil
-}
+// The end-to-end pipeline composition that used to live here as
+// Framework.Run (train -> improve -> analyze -> map -> evaluate ->
+// energy) moved to the public SDK at the repository root: package
+// sparkxd's staged Pipeline API composes these kernel phases with
+// cancellation, progress events, and persistable artifacts.

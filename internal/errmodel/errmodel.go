@@ -90,10 +90,10 @@ const DefaultSpread = 1.0
 // (geometry, v, spread, seed).
 func NewProfile(geom dram.Geometry, circuit voltscale.Model, v, spread float64, seed uint64) (*Profile, error) {
 	if err := geom.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("errmodel: profile geometry: %w", err)
 	}
 	if err := circuit.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("errmodel: profile circuit model: %w", err)
 	}
 	if spread < 0 {
 		return nil, errors.New("errmodel: spread must be non-negative")
@@ -130,7 +130,7 @@ func NewProfile(geom dram.Geometry, circuit voltscale.Model, v, spread float64, 
 // values directly.
 func UniformProfile(geom dram.Geometry, ber float64, seed uint64) (*Profile, error) {
 	if err := geom.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("errmodel: profile geometry: %w", err)
 	}
 	if ber < 0 || ber > 0.5 {
 		return nil, errors.New("errmodel: BER must be in [0, 0.5]")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -79,7 +80,7 @@ func (r *Runner) curveSet(size int, fl dataset.Flavor) (CurveSet, error) {
 		cs.Improved = append(cs.Improved,
 			r.F.EvaluateUnderErrors(pair.Improved, test, layout, profile, injSeed, evalSeed))
 	}
-	berTh, _, err := r.F.AnalyzeErrorTolerance(pair.Improved, test, cs.BERs,
+	berTh, _, err := r.F.AnalyzeErrorTolerance(context.Background(), pair.Improved, test, cs.BERs,
 		cs.BaselineAcc, 0.01, r.Opts.Seed+99)
 	if err != nil {
 		return cs, err

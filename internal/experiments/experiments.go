@@ -17,6 +17,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -222,7 +223,7 @@ func (r *Runner) Pair(size int, fl dataset.Flavor) (*ModelPair, error) {
 		}
 		baseline.AssignLabels(train, root.Derive("assign"))
 
-		res, err := r.F.ImproveErrorTolerance(baseline, train, test, r.trainCfg())
+		res, err := r.F.ImproveErrorTolerance(context.Background(), baseline, train, test, r.trainCfg())
 		if err != nil {
 			return nil, err
 		}

@@ -81,7 +81,7 @@ func UnitsFor(imageBytes, unitBytes int) int {
 // paper's baseline mapping. It errors if the image exceeds the device.
 func Baseline(geom dram.Geometry, units int) (*Layout, error) {
 	if err := geom.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("mapping: geometry: %w", err)
 	}
 	if units < 0 {
 		return nil, errors.New("mapping: negative unit count")
@@ -120,7 +120,7 @@ var ErrInsufficientSafeCapacity = errors.New("mapping: safe subarrays cannot hol
 // multi-bank bursts overlap row activations.
 func SparkXD(geom dram.Geometry, units int, safe []bool) (*Layout, error) {
 	if err := geom.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("mapping: geometry: %w", err)
 	}
 	if len(safe) != geom.SubarrayCount() {
 		return nil, fmt.Errorf("mapping: safe flags length %d, want %d",

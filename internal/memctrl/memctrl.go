@@ -98,10 +98,10 @@ type Controller struct {
 // banks precharged.
 func New(geom dram.Geometry, timing dram.Timing) (*Controller, error) {
 	if err := geom.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("memctrl: geometry: %w", err)
 	}
 	if err := timing.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("memctrl: timing: %w", err)
 	}
 	banks := make([]bankState, geom.BankCount())
 	for i := range banks {

@@ -18,6 +18,7 @@
 package snn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -125,11 +126,11 @@ type Network struct {
 // per neuron.
 func New(cfg Config, r *rng.Stream) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("snn: config: %w", err)
 	}
 	pool, err := neuron.NewPool(cfg.LIF)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("snn: neuron pool: %w", err)
 	}
 	n := &Network{
 		Cfg:      cfg,
@@ -226,10 +227,23 @@ func (n *Network) applySTDP(spikes []int32) {
 // TrainEpoch presents every sample of the dataset once with learning
 // enabled. The stream drives spike encoding.
 func (n *Network) TrainEpoch(ds *dataset.Dataset, r *rng.Stream) {
+	_ = n.TrainEpochCtx(context.Background(), ds, r)
+}
+
+// TrainEpochCtx is TrainEpoch with cooperative cancellation: the context
+// is checked between sample presentations, so a cancelled training run
+// returns promptly with ctx.Err(). RNG consumption up to the point of
+// cancellation is identical to an uncancelled run, which keeps partially
+// trained networks deterministic.
+func (n *Network) TrainEpochCtx(ctx context.Context, ds *dataset.Dataset, r *rng.Stream) error {
 	for s := 0; s < ds.Len(); s++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tr := n.Cfg.Encoder.Encode(ds.Images[s], n.Cfg.Steps, r.DeriveIndex("enc", s))
 		n.present(tr, true)
 	}
+	return nil
 }
 
 // SpikeCounts presents a sample without learning and returns a copy of
@@ -246,9 +260,19 @@ func (n *Network) SpikeCounts(img []byte, r *rng.Stream) []int {
 // using the given (typically training) dataset — the unsupervised
 // labeling step of Diehl&Cook.
 func (n *Network) AssignLabels(ds *dataset.Dataset, r *rng.Stream) {
+	_ = n.AssignLabelsCtx(context.Background(), ds, r)
+}
+
+// AssignLabelsCtx is AssignLabels with cooperative cancellation, checked
+// between samples. On cancellation the existing assignments are left
+// untouched (the response tally is discarded).
+func (n *Network) AssignLabelsCtx(ctx context.Context, ds *dataset.Dataset, r *rng.Stream) error {
 	resp := make([][dataset.NumClasses]float64, n.Cfg.Neurons)
 	classN := ds.ClassCounts()
 	for s := 0; s < ds.Len(); s++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		counts := n.SpikeCounts(ds.Images[s], r.DeriveIndex("assign", s))
 		c := ds.Labels[s]
 		for j, k := range counts {
@@ -268,6 +292,7 @@ func (n *Network) AssignLabels(ds *dataset.Dataset, r *rng.Stream) {
 		}
 		n.Assign[j] = best // stays -1 only if the neuron never spiked
 	}
+	return nil
 }
 
 // Predict classifies one image using the assigned labels: the class whose
@@ -297,16 +322,26 @@ func (n *Network) Predict(img []byte, r *rng.Stream) int {
 
 // Evaluate returns classification accuracy on a dataset.
 func (n *Network) Evaluate(ds *dataset.Dataset, r *rng.Stream) float64 {
+	acc, _ := n.EvaluateCtx(context.Background(), ds, r)
+	return acc
+}
+
+// EvaluateCtx is Evaluate with cooperative cancellation, checked between
+// samples; a cancelled evaluation returns 0 and ctx.Err().
+func (n *Network) EvaluateCtx(ctx context.Context, ds *dataset.Dataset, r *rng.Stream) (float64, error) {
 	if ds.Len() == 0 {
-		return 0
+		return 0, nil
 	}
 	correct := 0
 	for s := 0; s < ds.Len(); s++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		if n.Predict(ds.Images[s], r.DeriveIndex("eval", s)) == int(ds.Labels[s]) {
 			correct++
 		}
 	}
-	return float64(correct) / float64(ds.Len())
+	return float64(correct) / float64(ds.Len()), nil
 }
 
 // WeightCount returns the number of synaptic weights (the data that
