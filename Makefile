@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt-check shard-smoke examples-smoke lint vuln ci
+.PHONY: build test race bench vet fmt-check shard-smoke sweep-smoke examples-smoke lint vuln ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,17 @@ shard-smoke: build
 	$(GO) run ./cmd/experiments run --workers 4 --shard 1/2 --json > /dev/null
 	$(GO) run ./cmd/experiments run --workers 4 --shard 2/2 --json > /dev/null
 
+# Scenario-sweep engine smoke: a tiny grid on 2 workers, cross-checked
+# byte-identical against the sequential (workers=1) run.
+sweep-smoke: build
+	$(GO) run ./cmd/sparkxd sweep -neurons 40 -train 60 -test 30 -epochs 1 \
+		-voltages 1.1,1.025 -bers 1e-5,1e-4 -models uniform,data-dependent \
+		-policies baseline,sparkxd -workers 2 -json > /tmp/sparkxd-sweep-w2.json
+	$(GO) run ./cmd/sparkxd sweep -neurons 40 -train 60 -test 30 -epochs 1 \
+		-voltages 1.1,1.025 -bers 1e-5,1e-4 -models uniform,data-dependent \
+		-policies baseline,sparkxd -workers 1 -json > /tmp/sparkxd-sweep-w1.json
+	cmp /tmp/sparkxd-sweep-w1.json /tmp/sparkxd-sweep-w2.json
+
 # Run every example and both CLIs end to end on tiny budgets, including
 # the persist-then-resume artifact round-trip of `sparkxd single`.
 examples-smoke: build
@@ -51,4 +62,4 @@ lint:
 vuln:
 	govulncheck ./...
 
-ci: build vet fmt-check race bench examples-smoke
+ci: build vet fmt-check race bench examples-smoke sweep-smoke

@@ -249,6 +249,12 @@ func LoadToleranceReport(path string) (*ToleranceReport, error) {
 	return loadArtifact[ToleranceReport](path)
 }
 
+// LoadSweepReport reads a SweepReport artifact written by SaveArtifact,
+// e.g. to extend or re-render a persisted sweep without re-evaluating.
+func LoadSweepReport(path string) (*SweepReport, error) {
+	return loadArtifact[SweepReport](path)
+}
+
 func loadArtifact[T any](path string) (*T, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {

@@ -306,6 +306,43 @@ func BenchmarkSNNTrainEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep measures the batched scenario-sweep engine over a
+// 24-scenario grid (2 voltages x 3 BERs x 2 error models x 2 policies).
+// The workers=1 case is the sequential per-scenario loop the engine
+// replaces; the higher-worker cases show the fan-out speedup on the
+// same byte-identical workload.
+func BenchmarkSweep(b *testing.B) {
+	sys, err := sparkxd.New(
+		sparkxd.WithNeurons(50),
+		sparkxd.WithSampleBudget(60, 30),
+		sparkxd.WithBaseEpochs(1),
+		sparkxd.WithBERSchedule(1e-5, 1e-3),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sys.Pipeline()
+	if _, err := p.Train(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	spec := sparkxd.SweepSpec{
+		Voltages:    []float64{sparkxd.V1100, sparkxd.V1025},
+		BERs:        []float64{1e-6, 1e-5, 1e-4},
+		ErrorModels: []sparkxd.ErrorModel{sparkxd.ErrorModelUniform, sparkxd.ErrorModelDataDependent},
+		Policies:    []sparkxd.Policy{sparkxd.PolicyBaseline, sparkxd.PolicySparkXD},
+	}
+	for _, workers := range []int{1, 4} {
+		spec.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Sweep(context.Background(), spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEndPipeline runs the complete SparkXD flow through the
 // public SDK on a tiny configuration (the quickstart example's -tiny
 // workload).

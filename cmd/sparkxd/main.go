@@ -49,6 +49,8 @@ Usage:
 Commands:
   single    run the end-to-end pipeline for one configuration
   run       sweep a (dataset x size) grid on the work-stealing scheduler
+  sweep     evaluate one model over a (voltage x BER x error model x
+            policy) scenario grid on the batched sweep engine
   help      show this message
 
 Run "sparkxd <command> -h" for the command's flags.
@@ -74,6 +76,8 @@ func run(args []string) int {
 		return runSingle(ctx, args[1:])
 	case "run":
 		return runSuite(ctx, args[1:])
+	case "sweep":
+		return runSweep(ctx, args[1:])
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 		return 0
@@ -257,6 +261,165 @@ func runSuite(ctx context.Context, args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// runSweep drives Pipeline.Sweep: train (or resume) one model, then
+// evaluate it over the scenario grid on the batched sweep engine. The
+// -json report is byte-identical for any -workers value.
+func runSweep(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("sparkxd sweep", flag.ExitOnError)
+	var (
+		neurons  = fs.Int("neurons", 400, "excitatory neurons")
+		flavor   = fs.String("dataset", "mnist", "dataset flavour: mnist or fashion")
+		voltages = fs.String("voltages", "", "comma-separated supply voltages (default: configured voltage)")
+		bers     = fs.String("bers", "", "comma-separated BER thresholds (default: configured schedule)")
+		models   = fs.String("models", "", "comma-separated error models (uniform,bitline,wordline,data-dependent)")
+		policies = fs.String("policies", "", "comma-separated mapping policies (baseline,sparkxd)")
+		trainN   = fs.Int("train", 300, "training samples")
+		testN    = fs.Int("test", 128, "test samples")
+		epochs   = fs.Int("epochs", 2, "error-free training epochs")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		jsonOut  = fs.Bool("json", false, "emit the SweepReport as JSON on stdout")
+		artDir   = fs.String("artifacts", "", "directory to persist the model and sweep report")
+		resume   = fs.String("resume", "", "directory with a persisted improved model to sweep (skips training)")
+		quiet    = fs.Bool("quiet", false, "suppress progress events on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fl, err := sparkxd.ParseDataset(*flavor)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		return 2
+	}
+	spec := sparkxd.SweepSpec{Workers: *workers}
+	if spec.Voltages, err = parseFloatList(*voltages); err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd sweep: -voltages: %v\n", err)
+		return 2
+	}
+	if spec.BERs, err = parseFloatList(*bers); err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd sweep: -bers: %v\n", err)
+		return 2
+	}
+	for _, tok := range splitList(*models) {
+		m, err := sparkxd.ParseErrorModel(tok)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			return 2
+		}
+		spec.ErrorModels = append(spec.ErrorModels, m)
+	}
+	for _, tok := range splitList(*policies) {
+		spec.Policies = append(spec.Policies, sparkxd.Policy(tok))
+	}
+
+	opts := []sparkxd.Option{
+		sparkxd.WithNeurons(*neurons),
+		sparkxd.WithDataset(fl),
+		sparkxd.WithSampleBudget(*trainN, *testN),
+		sparkxd.WithBaseEpochs(*epochs),
+		sparkxd.WithSeed(*seed),
+	}
+	if !*quiet && !*jsonOut {
+		opts = append(opts, sparkxd.WithObserver(func(ev sparkxd.Event) {
+			if ev.Phase == "start" || ev.Phase == "done" {
+				fmt.Fprintf(os.Stderr, "%s: %-8s %s\n", ev.Phase, ev.Stage, ev.Message)
+			}
+		}))
+	}
+	sys, err := sparkxd.New(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		return 2
+	}
+	// Reject a malformed grid before spending time training.
+	if err := sys.ValidateSweep(spec); err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		return 2
+	}
+
+	p := sys.Pipeline()
+	if *resume != "" {
+		m, err := loadResumeModel(*resume, *neurons, fl, *trainN, *testN, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			return 1
+		}
+		if m != nil {
+			p.Improved = m
+			fmt.Fprintf(os.Stderr, "resume: loaded improved model (%s, N%d)\n", m.Dataset, m.Neurons)
+		}
+	}
+	if p.Improved == nil {
+		// Train the same fault-aware improved model a -resume run loads,
+		// so fresh and resumed sweeps evaluate comparable models.
+		if _, err := p.Train(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			return 1
+		}
+		if _, err := p.ImproveTolerance(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			return 1
+		}
+	}
+	rep, err := p.Sweep(ctx, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		return 1
+	}
+	if *artDir != "" {
+		if err := os.MkdirAll(*artDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			return 1
+		}
+		if err := sparkxd.SaveArtifact(filepath.Join(*artDir, "sweep.json"), rep); err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			return 1
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	tb := report.NewTable(fmt.Sprintf("scenario sweep: N%d on %s (%d scenarios)", rep.Neurons, rep.Dataset, len(rep.Points)),
+		"scenario", "eff. BERth", "safe", "flips", "accuracy", "energy [mJ]", "hit rate")
+	for _, pt := range rep.Points {
+		tb.AddRow(pt.Key, fmt.Sprintf("%.0e", pt.EffectiveBERth), pt.SafeSubarrays,
+			pt.FlippedBits, report.Pct(pt.Accuracy), pt.EnergyMJ, report.Pct(pt.HitRate))
+	}
+	tb.Render(os.Stdout)
+	return 0
+}
+
+// splitList splits a comma-separated flag value, dropping empty tokens.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// parseFloatList parses a comma-separated list of floats.
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range splitList(s) {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func runSingle(ctx context.Context, args []string) int {

@@ -26,6 +26,12 @@ var (
 	// artifact is absent — run the producing stage first, or assign a
 	// persisted artifact to the pipeline before resuming.
 	ErrMissingArtifact = errors.New("sparkxd: required pipeline artifact missing")
+
+	// ErrInvalidSweep is returned by Pipeline.Sweep when the SweepSpec
+	// does not describe a runnable grid (empty axis after defaulting,
+	// out-of-range BER, unknown policy or error model, or axis values
+	// that collide at scenario-key precision).
+	ErrInvalidSweep = errors.New("sparkxd: invalid sweep spec")
 )
 
 // wrapStage normalizes an error escaping a pipeline stage: cancellation
@@ -43,6 +49,11 @@ func wrapStage(stage string, err error) error {
 	default:
 		return fmt.Errorf("sparkxd: %s: %w", stage, err)
 	}
+}
+
+// invalidSweep tags a sweep-spec validation failure with its sentinel.
+func invalidSweep(err error) error {
+	return fmt.Errorf("sparkxd: sweep: %w: %w", ErrInvalidSweep, err)
 }
 
 // missingArtifact builds an ErrMissingArtifact with stage guidance.

@@ -139,6 +139,12 @@ func (f *Framework) EvaluateUnderErrors(net *snn.Network, test *dataset.Dataset,
 func (f *Framework) EvaluateUnderErrorsCtx(ctx context.Context, net *snn.Network,
 	test *dataset.Dataset, layout *mapping.Layout, profile *errmodel.Profile,
 	injectSeed, evalSeed uint64) (float64, error) {
+	// Check before the corruption pass, not only inside the sample loop:
+	// a caller sweeping many evaluation points must be able to stop at a
+	// point boundary without paying for another full injection pass.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	w, _ := f.CorruptWeights(net.WeightsFlat(), layout, profile, rng.New(injectSeed))
 	clone := net.Clone()
 	if err := clone.SetWeightsFlat(w); err != nil {
@@ -230,6 +236,9 @@ func (f *Framework) ImproveErrorTolerance(ctx context.Context, baseline *snn.Net
 	best := baseline.Clone() // fall back to the input if nothing passes
 
 	for i, rate := range cfg.Rates {
+		if err := ctx.Err(); err != nil {
+			return nil, err // stop at a rate boundary, not mid-epoch only
+		}
 		profile, err := errmodel.UniformProfile(f.Geom, rate, f.DeviceSeed)
 		if err != nil {
 			return nil, fmt.Errorf("core: profile at BER %.0e: %w", rate, err)
@@ -291,6 +300,9 @@ func (f *Framework) AnalyzeErrorTolerance(ctx context.Context, model *snn.Networ
 	berTh := 0.0
 	var curve []RatePoint
 	for i, rate := range rates {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err // stop at a point boundary
+		}
 		profile, err := errmodel.UniformProfile(f.Geom, rate, f.DeviceSeed)
 		if err != nil {
 			return 0, nil, fmt.Errorf("core: profile at BER %.0e: %w", rate, err)
@@ -343,6 +355,18 @@ func (f *Framework) MapWeightsAdaptive(weightCount int, v, berTh float64) (*mapp
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("core: device profile at %.3f V: %w", v, err)
 	}
+	layout, th, err := f.MapAdaptiveWithProfile(profile, weightCount, berTh)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return layout, profile, th, nil
+}
+
+// MapAdaptiveWithProfile is the relaxation kernel of MapWeightsAdaptive
+// against an already-derived profile (the sweep engine shares one
+// profile across many thresholds): the threshold doubles until the safe
+// subarrays can hold the image, for at most 64 attempts.
+func (f *Framework) MapAdaptiveWithProfile(profile *errmodel.Profile, weightCount int, berTh float64) (*mapping.Layout, float64, error) {
 	th := berTh
 	if th <= 0 {
 		th = 1e-12
@@ -350,14 +374,14 @@ func (f *Framework) MapWeightsAdaptive(weightCount int, v, berTh float64) (*mapp
 	for attempt := 0; attempt < 64; attempt++ {
 		layout, err := f.LayoutForWeights(weightCount, profile.SafeSubarrays(th))
 		if err == nil {
-			return layout, profile, th, nil
+			return layout, th, nil
 		}
 		if !errors.Is(err, mapping.ErrInsufficientSafeCapacity) {
-			return nil, nil, 0, err
+			return nil, 0, err
 		}
 		th *= 2
 	}
-	return nil, nil, 0, fmt.Errorf("core: device cannot hold %d weights even with a relaxed threshold", weightCount)
+	return nil, 0, fmt.Errorf("core: device cannot hold %d weights even with a relaxed threshold", weightCount)
 }
 
 // EnergyResult is the outcome of one energy/performance evaluation.

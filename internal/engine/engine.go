@@ -1,0 +1,412 @@
+// Package engine is the batched scenario-sweep evaluation engine: it
+// takes a trained SNN and a declarative scenario grid (supply voltages ×
+// bit-error rates × EDEN error-model kinds × mapping policies), fans the
+// cross-product out over the internal/sched work-stealing pool, and
+// returns one deterministic accuracy/energy record per scenario.
+//
+// The sweep decomposes into independent scenario jobs that share their
+// expensive invariants:
+//
+//   - device error profiles are derived once per device point through a
+//     single-flight sched.Cache keyed by (voltage, error-model kind,
+//     device seed) — a (2 voltages × 7 BERs × policies) grid derives 2
+//     profiles, not 14×;
+//   - DRAM layouts and prepared injectors (weak-cell sets) are cached per
+//     (profile, policy, threshold), so every baseline-policy scenario of
+//     one device point shares a single placement pass;
+//   - each worker corrupts weights into its own pooled scratch buffer and
+//     evaluates through its own snn.Evaluator, so the hot path allocates
+//     nothing per scenario after warm-up.
+//
+// Determinism contract (same as internal/sched, DESIGN.md §6/§7): every
+// scenario draws its injection randomness from a stream derived from the
+// scheduler seed and the scenario *key* — never from execution order or
+// worker identity — and results are returned sorted by key, so a sweep is
+// byte-identical for any worker count. Evaluation uses one shared
+// EvalSeed across scenarios (paired evaluation on identical spike
+// trains), which every scenario re-expands into its own private stream.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sync"
+
+	"sparkxd/internal/core"
+	"sparkxd/internal/dataset"
+	"sparkxd/internal/errmodel"
+	"sparkxd/internal/mapping"
+	"sparkxd/internal/quant"
+	"sparkxd/internal/rng"
+	"sparkxd/internal/sched"
+	"sparkxd/internal/snn"
+)
+
+// Mapping policy names accepted by Spec.Policies.
+const (
+	PolicyBaseline = "baseline"
+	PolicySparkXD  = "sparkxd"
+)
+
+// Spec declares a scenario grid as the cross-product of its axes.
+type Spec struct {
+	// Voltages are the supply voltages to characterize the device at.
+	// Ignored (may be empty) when Uniform is set.
+	Voltages []float64
+	// BERs are the per-scenario bit-error-rate points: the mapping
+	// threshold (BERth) for the sparkxd policy, and — when Uniform is
+	// set — the uniform injection rate itself.
+	BERs []float64
+	// Kinds are the EDEN error models to inject with.
+	Kinds []errmodel.Kind
+	// Policies are the mapping policies ("baseline", "sparkxd").
+	Policies []string
+	// Uniform switches the profile source from voltage-derived device
+	// profiles to uniform profiles at exactly the scenario BER — the
+	// regime of the paper's Figs. 8 and 11 (rates, not voltages, drive
+	// the sweep). The sparkxd policy is not meaningful against a uniform
+	// profile (every subarray is equally safe or unsafe).
+	Uniform bool
+	// Seed roots every per-scenario injection stream (derived from the
+	// scenario key, never from execution order).
+	Seed uint64
+	// EvalSeed drives spike encoding during evaluation; it is shared by
+	// every scenario so that accuracies are compared on identical spike
+	// trains (paired evaluation).
+	EvalSeed uint64
+	// Workers bounds the scheduler pool; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Scenario is one evaluation point of the grid.
+type Scenario struct {
+	Voltage float64
+	BER     float64
+	Kind    errmodel.Kind
+	Policy  string
+}
+
+// Key returns the scenario's canonical identity. It is the seed-
+// derivation path of the scenario's injection stream and the sort key of
+// the sweep results, so it must be stable across releases.
+func (sc Scenario) Key() string {
+	return fmt.Sprintf("v%.4f/ber%.3e/%s/%s", sc.Voltage, sc.BER, sc.Kind, sc.Policy)
+}
+
+// Result is the outcome of one scenario, deterministic in (spec, model,
+// device): identical for any worker count.
+type Result struct {
+	Key     string  `json:"key"`
+	Voltage float64 `json:"voltage"`
+	BER     float64 `json:"ber"`
+	Kind    string  `json:"error_model"`
+	Policy  string  `json:"policy"`
+	// EffectiveBERth is the mapping threshold actually used (the sparkxd
+	// policy relaxes the scenario BER until the image fits).
+	EffectiveBERth float64 `json:"effective_ber_th"`
+	// SafeSubarrays counts subarrays at or below the effective threshold.
+	SafeSubarrays int `json:"safe_subarrays"`
+	// FlippedBits is the number of bit errors this scenario injected.
+	FlippedBits int64 `json:"flipped_bits"`
+	// Accuracy is the model's accuracy under the scenario's errors.
+	Accuracy float64 `json:"accuracy"`
+	// EnergyMJ and HitRate describe one weight-streaming inference pass
+	// over the scenario's layout at the scenario voltage (voltage-derived
+	// grids only; zero when Uniform).
+	EnergyMJ float64 `json:"energy_mj,omitempty"`
+	HitRate  float64 `json:"hit_rate,omitempty"`
+}
+
+// Engine evaluates scenario grids against one framework (device models,
+// error-model kind selection happens per scenario). The caches persist
+// across Run calls, so repeated sweeps against the same device share
+// profiles and placements. An Engine is safe for concurrent use.
+type Engine struct {
+	fw *core.Framework
+	// profiles single-flights device-profile derivation, keyed by
+	// (voltage | uniform BER, error-model kind, device seed).
+	profiles *sched.Cache
+	// prepared single-flights layout construction and injector weak-cell
+	// preparation, keyed by (profile key, policy, threshold, image size).
+	prepared *sched.Cache
+}
+
+// New returns an engine over the framework's device models.
+func New(fw *core.Framework) *Engine {
+	return &Engine{fw: fw, profiles: sched.NewCache(), prepared: sched.NewCache()}
+}
+
+// ProfileCacheStats returns the cumulative hit/miss counts of the
+// profile cache. After one Run over a grid, misses equals the number of
+// distinct device points and hits equals scenarios − distinct points.
+func (e *Engine) ProfileCacheStats() (hits, misses uint64) { return e.profiles.Stats() }
+
+// Scenarios expands the spec's cross-product in axis order (voltage,
+// BER, kind, policy).
+func (s Spec) Scenarios() []Scenario {
+	voltages := s.Voltages
+	if s.Uniform {
+		voltages = []float64{0}
+	}
+	out := make([]Scenario, 0, len(voltages)*len(s.BERs)*len(s.Kinds)*len(s.Policies))
+	for _, v := range voltages {
+		for _, ber := range s.BERs {
+			for _, k := range s.Kinds {
+				for _, pol := range s.Policies {
+					out = append(out, Scenario{Voltage: v, BER: ber, Kind: k, Policy: pol})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate reports whether the spec describes a runnable grid.
+func (s Spec) Validate() error {
+	switch {
+	case !s.Uniform && len(s.Voltages) == 0:
+		return errors.New("engine: no voltages in sweep spec")
+	case len(s.BERs) == 0:
+		return errors.New("engine: no BER points in sweep spec")
+	case len(s.Kinds) == 0:
+		return errors.New("engine: no error models in sweep spec")
+	case len(s.Policies) == 0:
+		return errors.New("engine: no mapping policies in sweep spec")
+	}
+	if !s.Uniform {
+		for _, v := range s.Voltages {
+			if v <= 0 {
+				return fmt.Errorf("engine: non-positive voltage %v in sweep spec", v)
+			}
+		}
+	}
+	for _, b := range s.BERs {
+		if b < 0 || b > 0.5 {
+			return fmt.Errorf("engine: BER %v outside [0, 0.5]", b)
+		}
+	}
+	for _, p := range s.Policies {
+		if p != PolicyBaseline && p != PolicySparkXD {
+			return fmt.Errorf("engine: unknown mapping policy %q", p)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, sc := range s.Scenarios() {
+		key := sc.Key()
+		if seen[key] {
+			return fmt.Errorf("engine: duplicate scenario %q (axis values collide at key precision)", key)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// scratch is the per-worker reusable evaluation state: the injected
+// weight copy, its serialized image, and the batched evaluator.
+type scratch struct {
+	w   []float32
+	img []byte
+	ev  *snn.Evaluator
+}
+
+// prep is one cached (layout, prepared injector) pair. effTh and safe
+// are only meaningful for the sparkxd policy, whose cache key includes
+// the threshold; the baseline prep is shared across BER points and its
+// per-scenario threshold fields are derived by the caller instead.
+type prep struct {
+	layout *mapping.Layout
+	inj    *errmodel.Injector
+	effTh  float64
+	safe   int
+}
+
+// Run evaluates every scenario of the grid against the network and test
+// set, and returns the results sorted by scenario key. Cancellation is
+// checked at scenario boundaries; a cancelled run returns ctx.Err()
+// wrapped in the first failing scenario's error.
+func (e *Engine) Run(ctx context.Context, net *snn.Network, test *dataset.Dataset, spec Spec) ([]Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if net == nil {
+		return nil, errors.New("engine: nil network")
+	}
+	if test == nil || test.Len() == 0 {
+		return nil, errors.New("engine: empty test set")
+	}
+
+	weights := net.WeightsFlat() // shared read-only master copy
+	pool := sync.Pool{New: func() any {
+		return &scratch{ev: snn.NewEvaluator(net)}
+	}}
+
+	s, err := sched.New(sched.Config{Workers: spec.Workers, Seed: spec.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	for _, sc := range spec.Scenarios() {
+		sc := sc
+		err := s.Add(sched.Job{Name: sc.Key(), Run: func(c *sched.Ctx) (any, error) {
+			// Scenario-boundary cancellation: a cancelled sweep stops
+			// before deriving profiles or corrupting weights.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return e.runScenario(ctx, sc, spec, weights, test, &pool, c.RNG)
+		}})
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+
+	reports, runErr := s.Run()
+	if runErr != nil {
+		return nil, fmt.Errorf("engine: %w", runErr)
+	}
+	out := make([]Result, len(reports)) // name order == key order
+	for i, rep := range reports {
+		out[i] = rep.Value.(Result)
+	}
+	return out, nil
+}
+
+// runScenario evaluates one grid point. r is the scenario's private
+// stream (derived by the scheduler from the scenario key).
+func (e *Engine) runScenario(ctx context.Context, sc Scenario, spec Spec,
+	weights []float32, test *dataset.Dataset, pool *sync.Pool, r *rng.Stream) (Result, error) {
+	profile, profileKey, err := e.profileFor(sc, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := e.prepFor(sc, profileKey, profile, len(weights))
+	if err != nil {
+		return Result{}, err
+	}
+	effTh, safe := p.effTh, p.safe
+	if sc.Policy == PolicyBaseline {
+		// The baseline prep is shared across BER points (the layout does
+		// not depend on the threshold), so the per-scenario threshold
+		// fields must be derived here, not read from the cache.
+		effTh, safe = sc.BER, profile.SafeCount(sc.BER)
+	}
+
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	flips, err := e.corruptInto(s, weights, p, r.Derive("inject"))
+	if err != nil {
+		return Result{}, err
+	}
+	acc, err := s.ev.EvaluateWeights(ctx, test, s.w, rng.New(spec.EvalSeed))
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Key:            sc.Key(),
+		Voltage:        sc.Voltage,
+		BER:            sc.BER,
+		Kind:           sc.Kind.String(),
+		Policy:         sc.Policy,
+		EffectiveBERth: effTh,
+		SafeSubarrays:  safe,
+		FlippedBits:    flips,
+		Accuracy:       acc,
+	}
+	if !spec.Uniform {
+		energy, err := e.fw.EvaluateEnergy(p.layout, sc.Voltage)
+		if err != nil {
+			return Result{}, err
+		}
+		res.EnergyMJ = energy.TotalMJ()
+		res.HitRate = energy.Stats.HitRate()
+	}
+	return res, nil
+}
+
+// profileFor returns the scenario's device profile through the
+// single-flight cache, deriving it at most once per device point.
+func (e *Engine) profileFor(sc Scenario, spec Spec) (*errmodel.Profile, string, error) {
+	var key string
+	if spec.Uniform {
+		key = fmt.Sprintf("profile/uniform/ber%.3e/%s/seed%d", sc.BER, sc.Kind, e.fw.DeviceSeed)
+	} else {
+		key = fmt.Sprintf("profile/v%.4f/%s/seed%d", sc.Voltage, sc.Kind, e.fw.DeviceSeed)
+	}
+	v, err := e.profiles.GetOrCompute(key, func() (any, error) {
+		if spec.Uniform {
+			return errmodel.UniformProfile(e.fw.Geom, sc.BER, e.fw.DeviceSeed)
+		}
+		return e.fw.ProfileAt(sc.Voltage)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return v.(*errmodel.Profile), key, nil
+}
+
+// prepFor returns the scenario's (layout, prepared injector) pair through
+// the single-flight cache. Prepared injectors are read-only during
+// Inject, so concurrent scenarios of the same device point share one
+// weak-cell derivation pass.
+func (e *Engine) prepFor(sc Scenario, profileKey string, profile *errmodel.Profile, weightCount int) (*prep, error) {
+	key := fmt.Sprintf("prep/%s/%s/n%d", profileKey, sc.Policy, weightCount)
+	if sc.Policy == PolicySparkXD {
+		key = fmt.Sprintf("prep/%s/%s/th%.3e/n%d", profileKey, sc.Policy, sc.BER, weightCount)
+	}
+	v, err := e.prepared.GetOrCompute(key, func() (any, error) {
+		p := &prep{effTh: sc.BER}
+		switch sc.Policy {
+		case PolicyBaseline:
+			layout, err := e.fw.LayoutForWeights(weightCount, nil)
+			if err != nil {
+				return nil, err
+			}
+			p.layout = layout
+		case PolicySparkXD:
+			layout, th, err := e.fw.MapAdaptiveWithProfile(profile, weightCount, sc.BER)
+			if err != nil {
+				return nil, fmt.Errorf("engine: scenario %s: %w", sc.Key(), err)
+			}
+			p.layout, p.effTh = layout, th
+		}
+		p.safe = profile.SafeCount(p.effTh)
+		p.inj = errmodel.NewInjector(sc.Kind, profile)
+		p.inj.Prepare(p.layout)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*prep), nil
+}
+
+// corruptInto serializes the master weights into the scratch image,
+// injects the scenario's bit errors, and deserializes into the scratch
+// weight buffer — the pooled equivalent of core.CorruptWeights.
+func (e *Engine) corruptInto(s *scratch, weights []float32, p *prep, r *rng.Stream) (int64, error) {
+	need := e.fw.Format.ImageSize(len(weights), p.layout.UnitBytes())
+	if cap(s.img) < need {
+		s.img = make([]byte, need)
+	}
+	s.img = s.img[:need]
+	// Serialize leaves padding bytes untouched; zero them so a reused
+	// buffer cannot leak the previous scenario's bits into this one
+	// (Model3 failure probabilities are data-dependent).
+	for i := len(weights) * e.fw.Format.BytesPerWeight(); i < need; i++ {
+		s.img[i] = 0
+	}
+	if err := quant.Serialize(weights, e.fw.Format, s.img); err != nil {
+		return 0, fmt.Errorf("engine: serialize: %w", err)
+	}
+	flips := p.inj.Inject(s.img, p.layout, r)
+	if cap(s.w) < len(weights) {
+		s.w = make([]float32, len(weights))
+	}
+	s.w = s.w[:len(weights)]
+	if err := quant.Deserialize(s.img, e.fw.Format, s.w); err != nil {
+		return 0, fmt.Errorf("engine: deserialize: %w", err)
+	}
+	return flips, nil
+}

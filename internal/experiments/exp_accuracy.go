@@ -6,9 +6,11 @@ import (
 	"io"
 
 	"sparkxd/internal/dataset"
+	"sparkxd/internal/engine"
 	"sparkxd/internal/errmodel"
 	"sparkxd/internal/report"
 	"sparkxd/internal/rng"
+	"sparkxd/internal/snn"
 )
 
 func init() {
@@ -41,6 +43,12 @@ type CurveSet struct {
 }
 
 // curveSet evaluates the three Fig. 11 curves for one (size, flavour).
+// The BER points run as independent scenarios of the batched sweep
+// engine (uniform profiles, baseline mapping — the paper's Fig. 8/11
+// regime), so the points of one panel evaluate in parallel while the
+// shared EvalSeed keeps every configuration paired on identical spike
+// trains. Results are deterministic for any worker count: each scenario
+// draws its injection stream from its scenario key.
 func (r *Runner) curveSet(size int, fl dataset.Flavor) (CurveSet, error) {
 	pair, err := r.Pair(size, fl)
 	if err != nil {
@@ -50,35 +58,50 @@ func (r *Runner) curveSet(size int, fl dataset.Flavor) (CurveSet, error) {
 	if err != nil {
 		return CurveSet{}, err
 	}
-	layout, err := r.F.LayoutFor(pair.Baseline, nil)
-	if err != nil {
-		return CurveSet{}, err
-	}
 	cs := CurveSet{
 		Size:   size,
 		Flavor: fl,
 		BERs:   r.Opts.BERs(),
 	}
 	evalSeed := rng.New(r.Opts.Seed).Derive("curve-eval").Uint64()
-	// The accurate-DRAM flat line is evaluated on the same spike trains
-	// as the curve points (paired), so differences reflect only the
-	// injected errors, not encoder noise.
-	zero, err := errmodel.UniformProfile(r.F.Geom, 0, r.F.DeviceSeed)
+	// BER 0 rides along as the accurate-DRAM flat line: no injected
+	// errors, same spike trains.
+	bers := make([]float64, 0, len(cs.BERs)+1)
+	bers = append(bers, 0)
+	bers = append(bers, cs.BERs...)
+	spec := engine.Spec{
+		Uniform:  true,
+		BERs:     bers,
+		Kinds:    []errmodel.Kind{r.F.ErrKind},
+		Policies: []string{engine.PolicyBaseline},
+		Seed:     r.Opts.Seed + 17,
+		EvalSeed: evalSeed,
+		Workers:  r.Opts.Workers,
+	}
+	accByBER := func(net *snn.Network) (map[float64]float64, error) {
+		results, err := r.Engine().Run(context.Background(), net, test, spec)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[float64]float64, len(results))
+		for _, res := range results {
+			out[res.BER] = res.Accuracy
+		}
+		return out, nil
+	}
+	baseAcc, err := accByBER(pair.Baseline)
 	if err != nil {
 		return cs, err
 	}
-	cs.BaselineAcc = r.F.EvaluateUnderErrors(pair.Baseline, test, layout, zero, 1, evalSeed)
+	impAcc, err := accByBER(pair.Improved)
+	if err != nil {
+		return cs, err
+	}
+	cs.BaselineAcc = baseAcc[0]
 	cs.MinTarget = cs.BaselineAcc - 0.01
-	for i, ber := range cs.BERs {
-		profile, err := errmodel.UniformProfile(r.F.Geom, ber, r.F.DeviceSeed)
-		if err != nil {
-			return cs, err
-		}
-		injSeed := rng.New(r.Opts.Seed).DeriveIndex("curve-inject", i).Uint64()
-		cs.BaselineApprox = append(cs.BaselineApprox,
-			r.F.EvaluateUnderErrors(pair.Baseline, test, layout, profile, injSeed, evalSeed))
-		cs.Improved = append(cs.Improved,
-			r.F.EvaluateUnderErrors(pair.Improved, test, layout, profile, injSeed, evalSeed))
+	for _, ber := range cs.BERs {
+		cs.BaselineApprox = append(cs.BaselineApprox, baseAcc[ber])
+		cs.Improved = append(cs.Improved, impAcc[ber])
 	}
 	berTh, _, err := r.F.AnalyzeErrorTolerance(context.Background(), pair.Improved, test, cs.BERs,
 		cs.BaselineAcc, 0.01, r.Opts.Seed+99)

@@ -23,6 +23,7 @@ import (
 
 	"sparkxd/internal/core"
 	"sparkxd/internal/dataset"
+	"sparkxd/internal/engine"
 	"sparkxd/internal/rng"
 	"sparkxd/internal/sched"
 	"sparkxd/internal/snn"
@@ -136,6 +137,7 @@ type Runner struct {
 	Opts  Options
 	F     *core.Framework
 	cache *sched.Cache
+	eng   *engine.Engine
 }
 
 // ModelPair is a baseline network and its fault-aware-trained counterpart.
@@ -156,15 +158,23 @@ type ModelPair struct {
 // artifact cache; callers that schedule the suite pass Cache() to
 // sched.Config so jobs and runner share one cache.
 func NewRunner(opts Options) *Runner {
+	f := core.NewFramework()
 	return &Runner{
 		Opts:  opts,
-		F:     core.NewFramework(),
+		F:     f,
 		cache: sched.NewCache(),
+		eng:   engine.New(f),
 	}
 }
 
 // Cache exposes the runner's artifact cache (shared with the scheduler).
 func (r *Runner) Cache() *sched.Cache { return r.cache }
+
+// Engine exposes the runner's batched scenario-sweep engine; the
+// accuracy-grid experiments (Figs. 8, 11) fan their BER points out
+// through it, sharing derived profiles and prepared injectors across
+// experiments and workers.
+func (r *Runner) Engine() *engine.Engine { return r.eng }
 
 // Data returns (train, test) for a flavour, cached by
 // flavour+budgets+seed.

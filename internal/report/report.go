@@ -151,23 +151,36 @@ func (c *Chart) Render(w io.Writer) {
 		}
 		return x
 	}
+	finite := func(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }
 	for _, s := range c.Series {
 		for i := range s.X {
-			x := tx(s.X[i])
+			// Non-finite coordinates (empty series leave the ranges at
+			// ±Inf; LogX of a non-positive x is -Inf/NaN) must not poison
+			// the range math below.
+			x, y := tx(s.X[i]), s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
 			if x < xmin {
 				xmin = x
 			}
 			if x > xmax {
 				xmax = x
 			}
-			if s.Y[i] < ymin {
-				ymin = s.Y[i]
+			if y < ymin {
+				ymin = y
 			}
-			if s.Y[i] > ymax {
-				ymax = s.Y[i]
+			if y > ymax {
+				ymax = y
 			}
 		}
 	}
+	if xmin > xmax { // no finite point anywhere
+		fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return
+	}
+	// Clamp degenerate ranges (a single point, or a constant-valued
+	// series) so the column/row projection below never divides by zero.
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
@@ -185,8 +198,12 @@ func (c *Chart) Render(w io.Writer) {
 	}
 	for _, s := range c.Series {
 		for i := range s.X {
-			col := int((tx(s.X[i]) - xmin) / (xmax - xmin) * float64(c.Width-1))
-			row := int((ymax - s.Y[i]) / (ymax - ymin) * float64(c.Height-1))
+			x, y := tx(s.X[i]), s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(c.Width-1))
+			row := int((ymax - y) / (ymax - ymin) * float64(c.Height-1))
 			if col >= 0 && col < c.Width && row >= 0 && row < c.Height {
 				grid[row][col] = s.Marker
 			}

@@ -94,12 +94,61 @@ func TestChartEmpty(t *testing.T) {
 }
 
 func TestChartDegenerateRanges(t *testing.T) {
+	// A constant-valued series: both ranges are zero-width and must be
+	// clamped, with the marker landing inside the grid.
 	c := NewChart("Flat", "x", "y")
 	c.Add("s", []float64{1, 1, 1}, []float64{2, 2, 2})
 	var buf bytes.Buffer
 	c.Render(&buf) // must not panic or divide by zero
-	if buf.Len() == 0 {
-		t.Error("no output")
+	if !strings.Contains(buf.String(), "*") {
+		t.Errorf("constant series lost its markers:\n%s", buf.String())
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := NewChart("One", "x", "y")
+	c.Add("s", []float64{3}, []float64{0.5})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "*") {
+		t.Errorf("single-point series lost its marker:\n%s", buf.String())
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	// A series with no points must not poison the range math of a real
+	// series rendered next to it (±Inf ranges previously produced
+	// garbage column/row projections for every marker).
+	c := NewChart("Mixed", "x", "y")
+	c.Add("empty", nil, nil)
+	c.Add("real", []float64{0, 1, 2}, []float64{1, 2, 3})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "o") {
+		t.Errorf("real series lost its markers next to an empty one:\n%s", buf.String())
+	}
+
+	// Only empty series: no finite point at all, so say "no data"
+	// instead of rendering a grid from infinite ranges.
+	c2 := NewChart("AllEmpty", "x", "y")
+	c2.Add("empty", nil, nil)
+	buf.Reset()
+	c2.Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("all-empty chart should say no data:\n%s", buf.String())
+	}
+}
+
+func TestChartLogXNonPositive(t *testing.T) {
+	// log10(0) is -Inf: the zero-x point must be skipped, not drag xmin
+	// to -Inf and blank the whole chart.
+	c := NewChart("Log", "x", "y")
+	c.LogX = true
+	c.Add("s", []float64{0, 1e-6, 1e-3}, []float64{1, 2, 3})
+	var buf bytes.Buffer
+	c.Render(&buf)
+	if !strings.Contains(buf.String(), "*") {
+		t.Errorf("LogX chart with a zero x lost its finite markers:\n%s", buf.String())
 	}
 }
 

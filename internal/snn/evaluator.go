@@ -1,0 +1,42 @@
+package snn
+
+import (
+	"context"
+
+	"sparkxd/internal/dataset"
+	"sparkxd/internal/rng"
+)
+
+// Evaluator measures one network's accuracy under many corrupted weight
+// images without per-image allocation — the batched evaluate entry point
+// of the scenario-sweep engine. It owns a single reusable clone of the
+// source network; each EvaluateWeights call restores the clone to the
+// source network's adaptive-threshold state before loading the weight
+// image, so repeated evaluations are bit-identical to evaluating a fresh
+// Clone each time (Pool.Step mutates Theta even during inference, which
+// would otherwise make results depend on evaluation order).
+//
+// An Evaluator is single-goroutine; create one per concurrent worker.
+type Evaluator struct {
+	clone *Network
+	theta []float32 // pristine adaptive thresholds of the source network
+}
+
+// NewEvaluator returns an evaluator over a private clone of n. Later
+// mutations of n do not affect the evaluator.
+func NewEvaluator(n *Network) *Evaluator {
+	c := n.Clone()
+	return &Evaluator{clone: c, theta: append([]float32(nil), c.Pool.Theta...)}
+}
+
+// EvaluateWeights loads the weight image w into the evaluator's clone
+// (with the SetWeightsFlat on-load sanitization) and returns the clone's
+// accuracy on ds. The result is identical to
+// n.Clone().SetWeightsFlat(w) + EvaluateCtx on a fresh clone.
+func (e *Evaluator) EvaluateWeights(ctx context.Context, ds *dataset.Dataset, w []float32, r *rng.Stream) (float64, error) {
+	copy(e.clone.Pool.Theta, e.theta)
+	if err := e.clone.SetWeightsFlat(w); err != nil {
+		return 0, err
+	}
+	return e.clone.EvaluateCtx(ctx, ds, r)
+}

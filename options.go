@@ -78,6 +78,40 @@ const (
 	ErrorModelDataDependent
 )
 
+// String names the error model ("uniform", "bitline", "wordline",
+// "data-dependent").
+func (m ErrorModel) String() string {
+	switch m {
+	case ErrorModelUniform:
+		return "uniform"
+	case ErrorModelBitline:
+		return "bitline"
+	case ErrorModelWordline:
+		return "wordline"
+	case ErrorModelDataDependent:
+		return "data-dependent"
+	default:
+		return fmt.Sprintf("ErrorModel(%d)", int(m))
+	}
+}
+
+// ParseErrorModel maps a CLI-style name ("uniform", "bitline",
+// "wordline", "data-dependent") to an ErrorModel.
+func ParseErrorModel(name string) (ErrorModel, error) {
+	switch name {
+	case "uniform":
+		return ErrorModelUniform, nil
+	case "bitline":
+		return ErrorModelBitline, nil
+	case "wordline":
+		return ErrorModelWordline, nil
+	case "data-dependent", "data":
+		return ErrorModelDataDependent, nil
+	default:
+		return 0, fmt.Errorf("sparkxd: unknown error model %q (uniform|bitline|wordline|data-dependent)", name)
+	}
+}
+
 func (m ErrorModel) kind() (errmodel.Kind, error) {
 	switch m {
 	case ErrorModelUniform:
@@ -138,6 +172,8 @@ type config struct {
 	spread     float64
 	deviceSeed uint64
 	format     quant.Format
+
+	sweepWorkers int
 
 	observer Observer
 }
@@ -296,6 +332,14 @@ func WithQuantization(q Quantization) Option {
 		c.format = f
 		return nil
 	}
+}
+
+// WithSweepWorkers sets the default worker-pool size Pipeline.Sweep
+// fans scenarios out over when the SweepSpec leaves Workers unset
+// (<= 0 means GOMAXPROCS). Sweep results are byte-identical for any
+// worker count; this only tunes wall-clock time.
+func WithSweepWorkers(n int) Option {
+	return func(c *config) error { c.sweepWorkers = n; return nil }
 }
 
 // WithObserver subscribes a hook to the pipeline's structured progress

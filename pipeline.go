@@ -295,6 +295,12 @@ func (p *Pipeline) EvaluateUnderErrors(ctx context.Context) (*Evaluation, error)
 	if p.Placement == nil {
 		return nil, missingArtifact("EvaluateUnderErrors", "a placement", "run Map or assign Pipeline.Placement")
 	}
+	// Cancellation is also checked before the corruption pass (and inside
+	// the sample loops) in core; checking here lets a cancelled sweep of
+	// evaluations stop at a point boundary before touching the datasets.
+	if err := ctx.Err(); err != nil {
+		return nil, wrapStage("evaluate", err)
+	}
 	_, test, err := p.data()
 	if err != nil {
 		return nil, wrapStage("evaluate", err)

@@ -7,6 +7,7 @@ import (
 
 	"sparkxd/internal/core"
 	"sparkxd/internal/dram"
+	"sparkxd/internal/engine"
 	"sparkxd/internal/errmodel"
 	"sparkxd/internal/memctrl"
 	"sparkxd/internal/power"
@@ -60,6 +61,12 @@ type System struct {
 	dsTrain  *datasetT
 	dsTest   *datasetT
 	dsErr    error
+
+	// The scenario-sweep engine is created on first use and shared by
+	// every pipeline of the system, so repeated sweeps reuse the derived
+	// device profiles and prepared placements.
+	engOnce sync.Once
+	eng     *engine.Engine
 }
 
 // New builds a System from the paper's defaults plus the given options.
@@ -96,6 +103,20 @@ func (s *System) notify(ev Event) {
 // populated. Assign persisted artifacts to its fields to resume from a
 // checkpoint instead of recomputing earlier stages.
 func (s *System) Pipeline() *Pipeline { return &Pipeline{sys: s} }
+
+// sweepEngine returns the system's shared scenario-sweep engine.
+func (s *System) sweepEngine() *engine.Engine {
+	s.engOnce.Do(func() { s.eng = engine.New(s.fw) })
+	return s.eng
+}
+
+// SweepCacheStats returns the cumulative hit/miss counts of the sweep
+// engine's device-profile cache. Profiles are derived once per distinct
+// (voltage, error model) device point: after one Sweep over an N-scenario
+// grid with D distinct device points, misses == D and hits == N − D.
+func (s *System) SweepCacheStats() (hits, misses uint64) {
+	return s.sweepEngine().ProfileCacheStats()
+}
 
 // DeviceProfile characterizes the simulated device at a supply voltage:
 // per-subarray BERs drawn with the system's spread and device seed.

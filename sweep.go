@@ -1,0 +1,213 @@
+package sparkxd
+
+import (
+	"context"
+	"fmt"
+
+	"sparkxd/internal/engine"
+	"sparkxd/internal/errmodel"
+)
+
+// SweepSpec declares a scenario grid for Pipeline.Sweep as the
+// cross-product of its axes. Zero-valued axes fall back to the system's
+// configuration: the configured voltage, the configured BER schedule,
+// the configured error model, and the SparkXD mapping policy.
+type SweepSpec struct {
+	// Voltages are the approximate-DRAM supply voltages to evaluate at.
+	Voltages []float64 `json:"voltages,omitempty"`
+	// BERs are the tolerance thresholds (BERth candidates) each mapping
+	// is derived under.
+	BERs []float64 `json:"bers,omitempty"`
+	// ErrorModels are the EDEN error models to inject with.
+	ErrorModels []ErrorModel `json:"error_models,omitempty"`
+	// Policies are the mapping policies to place the weights with.
+	Policies []Policy `json:"policies,omitempty"`
+	// Workers bounds the evaluation pool (<= 0: the WithSweepWorkers
+	// option, then GOMAXPROCS). The report is byte-identical for any
+	// value.
+	Workers int `json:"-"`
+}
+
+// SweepPoint is the outcome of one scenario of a sweep.
+type SweepPoint struct {
+	// Key is the scenario's canonical identity (the report sort key and
+	// the scenario's random-stream derivation path).
+	Key     string  `json:"key"`
+	Voltage float64 `json:"voltage"`
+	// BER is the requested tolerance threshold of the scenario.
+	BER float64 `json:"ber"`
+	// ErrorModel names the EDEN error model injected.
+	ErrorModel string `json:"error_model"`
+	Policy     Policy `json:"policy"`
+	// EffectiveBERth is the threshold actually used (the sparkxd policy
+	// relaxes the requested one until the image fits).
+	EffectiveBERth float64 `json:"effective_ber_th"`
+	// SafeSubarrays counts subarrays at or below the effective threshold.
+	SafeSubarrays int `json:"safe_subarrays"`
+	// FlippedBits is the number of bit errors injected at this point.
+	FlippedBits int64 `json:"flipped_bits"`
+	// Accuracy is the model's accuracy under the scenario's errors.
+	Accuracy float64 `json:"accuracy"`
+	// EnergyMJ and HitRate describe one weight-streaming inference pass
+	// over the scenario's layout at the scenario voltage.
+	EnergyMJ float64 `json:"energy_mj"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// SweepReport is the artifact of Pipeline.Sweep: one point per scenario,
+// sorted by scenario key. It round-trips losslessly through
+// encoding/json (SaveArtifact / LoadSweepReport) and is byte-identical
+// for any worker count.
+type SweepReport struct {
+	// Dataset/Neurons identify the model the sweep evaluated.
+	Dataset string `json:"dataset"`
+	Neurons int    `json:"neurons"`
+	// BaselineAcc is the model's error-free accuracy (zero if never
+	// measured).
+	BaselineAcc float64 `json:"baseline_acc"`
+	// The resolved grid axes.
+	Voltages    []float64 `json:"voltages"`
+	BERs        []float64 `json:"bers"`
+	ErrorModels []string  `json:"error_models"`
+	Policies    []Policy  `json:"policies"`
+	// Points holds one record per scenario, sorted by Key.
+	Points []SweepPoint `json:"points"`
+}
+
+// Sweep evaluates the model under every scenario of the grid — the
+// batched, parallel generalization of EvaluateUnderErrors. Scenarios fan
+// out over a work-stealing pool; device profiles are derived once per
+// (voltage, error model) point and shared, and every scenario draws its
+// injection randomness from a stream derived from its scenario key, so
+// the report is byte-identical whether Workers is 1 or N. Evaluation is
+// paired: every scenario uses the spike trains of the same evaluation
+// seed family as EvaluateUnderErrors.
+//
+// Sweep needs a trained model (run Train/ImproveTolerance or assign one)
+// but no prior Map: each scenario derives its own placement.
+func (p *Pipeline) Sweep(ctx context.Context, spec SweepSpec) (*SweepReport, error) {
+	m := p.model()
+	if m == nil || m.net == nil {
+		return nil, missingArtifact("Sweep", "a trained model", "run Train/ImproveTolerance or assign Pipeline.Improved")
+	}
+	_, test, err := p.data()
+	if err != nil {
+		return nil, wrapStage("sweep", err)
+	}
+	espec, kinds, err := p.sys.engineSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	scenarios := len(espec.Scenarios())
+	p.sys.notify(Event{Stage: "sweep", Phase: "start", Epochs: scenarios,
+		Message: fmt.Sprintf("%d scenarios on %d workers", scenarios, espec.Workers)})
+	results, err := p.sys.sweepEngine().Run(ctx, m.net, test, espec)
+	if err != nil {
+		return nil, wrapStage("sweep", err)
+	}
+
+	report := &SweepReport{
+		Dataset:     m.Dataset,
+		Neurons:     m.Neurons,
+		BaselineAcc: m.BaselineAcc,
+		Voltages:    espec.Voltages,
+		BERs:        espec.BERs,
+		Policies:    append([]Policy(nil), resolvePolicies(spec.Policies)...),
+		Points:      make([]SweepPoint, len(results)),
+	}
+	for _, k := range kinds {
+		report.ErrorModels = append(report.ErrorModels, k.String())
+	}
+	for i, r := range results {
+		report.Points[i] = SweepPoint{
+			Key:            r.Key,
+			Voltage:        r.Voltage,
+			BER:            r.BER,
+			ErrorModel:     r.Kind,
+			Policy:         Policy(r.Policy),
+			EffectiveBERth: r.EffectiveBERth,
+			SafeSubarrays:  r.SafeSubarrays,
+			FlippedBits:    r.FlippedBits,
+			Accuracy:       r.Accuracy,
+			EnergyMJ:       r.EnergyMJ,
+			HitRate:        r.HitRate,
+		}
+	}
+	p.sys.notify(Event{Stage: "sweep", Phase: "done", Epochs: scenarios})
+	return report, nil
+}
+
+// ValidateSweep reports whether the spec — resolved against the system
+// defaults — describes a runnable grid. It needs no trained model, so
+// front-ends can reject a malformed grid before spending time training;
+// failures satisfy errors.Is(err, ErrInvalidSweep).
+func (s *System) ValidateSweep(spec SweepSpec) error {
+	_, _, err := s.engineSpec(spec)
+	return err
+}
+
+// engineSpec resolves a public SweepSpec against the system defaults and
+// translates it to the internal engine's grid, validating every axis.
+func (s *System) engineSpec(spec SweepSpec) (engine.Spec, []errmodel.Kind, error) {
+	cfg := &s.cfg
+	voltages := spec.Voltages
+	if len(voltages) == 0 {
+		voltages = []float64{cfg.voltage}
+	}
+	bers := spec.BERs
+	if len(bers) == 0 {
+		bers = append([]float64(nil), cfg.rates...)
+	}
+	var kinds []errmodel.Kind
+	if len(spec.ErrorModels) == 0 {
+		kinds = []errmodel.Kind{cfg.errKind}
+	} else {
+		for _, m := range spec.ErrorModels {
+			k, err := m.kind()
+			if err != nil {
+				return engine.Spec{}, nil, invalidSweep(err)
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	var policies []string
+	for _, pol := range resolvePolicies(spec.Policies) {
+		switch pol {
+		case PolicyBaseline:
+			policies = append(policies, engine.PolicyBaseline)
+		case PolicySparkXD:
+			policies = append(policies, engine.PolicySparkXD)
+		default:
+			return engine.Spec{}, nil, invalidSweep(fmt.Errorf("unknown policy %q", pol))
+		}
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = cfg.sweepWorkers
+	}
+	espec := engine.Spec{
+		Voltages: append([]float64(nil), voltages...),
+		BERs:     append([]float64(nil), bers...),
+		Kinds:    kinds,
+		Policies: policies,
+		// The seed family matches EvaluateUnderErrors (trainSeed+2 roots
+		// injection, trainSeed+3 drives paired spike encoding), so sweep
+		// accuracies are comparable with the single-scenario stage.
+		Seed:     cfg.trainSeed + 2,
+		EvalSeed: cfg.trainSeed + 3,
+		Workers:  workers,
+	}
+	if err := espec.Validate(); err != nil {
+		return engine.Spec{}, nil, invalidSweep(err)
+	}
+	return espec, kinds, nil
+}
+
+// resolvePolicies applies the default mapping-policy axis.
+func resolvePolicies(ps []Policy) []Policy {
+	if len(ps) == 0 {
+		return []Policy{PolicySparkXD}
+	}
+	return ps
+}

@@ -1,0 +1,217 @@
+package sparkxd_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sparkxd"
+)
+
+// sweepGrid is a 24-scenario grid (2 voltages x 3 BERs x 2 error models
+// x 2 policies) with 4 distinct device points.
+func sweepGrid(workers int) sparkxd.SweepSpec {
+	return sparkxd.SweepSpec{
+		Voltages:    []float64{sparkxd.V1100, sparkxd.V1025},
+		BERs:        []float64{1e-6, 1e-5, 1e-4},
+		ErrorModels: []sparkxd.ErrorModel{sparkxd.ErrorModelUniform, sparkxd.ErrorModelDataDependent},
+		Policies:    []sparkxd.Policy{sparkxd.PolicyBaseline, sparkxd.PolicySparkXD},
+		Workers:     workers,
+	}
+}
+
+// trainedPipeline returns a pipeline with a trained baseline model on
+// the given system.
+func trainedPipeline(t testing.TB, sys *sparkxd.System) *sparkxd.Pipeline {
+	t.Helper()
+	p := sys.Pipeline()
+	if _, err := p.Train(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSweepDeterministicAcrossWorkers is the acceptance check of the
+// sweep engine at SDK level: a >= 24-scenario grid produces byte-
+// identical JSON at workers=1 and workers=8.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	ctx := context.Background()
+	p1 := trainedPipeline(t, tinySystem(t))
+	r1, err := p1.Sweep(ctx, sweepGrid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8 := trainedPipeline(t, tinySystem(t))
+	r8, err := p8.Sweep(ctx, sweepGrid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, err := json.MarshalIndent(r1, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := json.MarshalIndent(r8, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j8) {
+		t.Fatalf("workers=1 and workers=8 sweep reports diverge:\n%s\n---\n%s", j1, j8)
+	}
+	if len(r1.Points) != 24 {
+		t.Fatalf("got %d points, want 24", len(r1.Points))
+	}
+	for i := 1; i < len(r1.Points); i++ {
+		if r1.Points[i-1].Key >= r1.Points[i].Key {
+			t.Fatalf("points not sorted by key: %q >= %q", r1.Points[i-1].Key, r1.Points[i].Key)
+		}
+	}
+}
+
+// TestSweepProfileCacheStats verifies each (voltage, error model) device
+// point derives its profile exactly once.
+func TestSweepProfileCacheStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	sys := tinySystem(t)
+	p := trainedPipeline(t, sys)
+	rep, err := p.Sweep(context.Background(), sweepGrid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := sys.SweepCacheStats()
+	const distinct = 4 // 2 voltages x 2 error models
+	if misses != distinct {
+		t.Errorf("profile derivations = %d, want %d", misses, distinct)
+	}
+	if want := uint64(len(rep.Points)) - distinct; hits != want {
+		t.Errorf("profile cache hits = %d, want %d (scenarios - device points)", hits, want)
+	}
+}
+
+// TestSweepCancelled: a pre-cancelled sweep fails with ErrCancelled at a
+// scenario boundary.
+func TestSweepCancelled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	p := trainedPipeline(t, tinySystem(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Sweep(ctx, sweepGrid(2))
+	if !errors.Is(err, sparkxd.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled beneath ErrCancelled", err)
+	}
+}
+
+// TestEvaluateUnderErrorsCancelledAtPointBoundary: a cancelled context
+// stops EvaluateUnderErrors before the corruption pass, with the public
+// sentinel.
+func TestEvaluateUnderErrorsCancelledAtPointBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	ctx := context.Background()
+	p := trainedPipeline(t, tinySystem(t))
+	if _, err := p.AnalyzeTolerance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MapAdaptive(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.EvaluateUnderErrors(cctx); !errors.Is(err, sparkxd.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	// The same pre-cancelled context must stop AnalyzeTolerance at a BER
+	// point boundary too.
+	if _, err := p.AnalyzeTolerance(cctx); !errors.Is(err, sparkxd.ErrCancelled) {
+		t.Fatalf("AnalyzeTolerance err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestSweepInvalidSpec: malformed grids fail with ErrInvalidSweep before
+// any evaluation.
+func TestSweepInvalidSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	p := trainedPipeline(t, tinySystem(t))
+	cases := []struct {
+		name string
+		spec sparkxd.SweepSpec
+	}{
+		{"BER out of range", sparkxd.SweepSpec{BERs: []float64{0.9}}},
+		{"negative voltage", sparkxd.SweepSpec{Voltages: []float64{-1}}},
+		{"unknown policy", sparkxd.SweepSpec{Policies: []sparkxd.Policy{"mystery"}}},
+	}
+	for _, tc := range cases {
+		if _, err := p.Sweep(context.Background(), tc.spec); !errors.Is(err, sparkxd.ErrInvalidSweep) {
+			t.Errorf("%s: err = %v, want ErrInvalidSweep", tc.name, err)
+		}
+	}
+}
+
+// TestValidateSweep: the model-free pre-flight validator accepts the
+// default grid and rejects malformed ones with the sentinel.
+func TestValidateSweep(t *testing.T) {
+	sys := tinySystem(t)
+	if err := sys.ValidateSweep(sparkxd.SweepSpec{}); err != nil {
+		t.Fatalf("default spec rejected: %v", err)
+	}
+	err := sys.ValidateSweep(sparkxd.SweepSpec{BERs: []float64{0.9}})
+	if !errors.Is(err, sparkxd.ErrInvalidSweep) {
+		t.Fatalf("err = %v, want ErrInvalidSweep", err)
+	}
+}
+
+// TestSweepNeedsModel: sweeping an empty pipeline reports the missing
+// artifact.
+func TestSweepNeedsModel(t *testing.T) {
+	p := tinySystem(t).Pipeline()
+	if _, err := p.Sweep(context.Background(), sparkxd.SweepSpec{}); !errors.Is(err, sparkxd.ErrMissingArtifact) {
+		t.Fatalf("err = %v, want ErrMissingArtifact", err)
+	}
+}
+
+// TestSweepReportRoundTrip: the artifact survives SaveArtifact /
+// LoadSweepReport losslessly.
+func TestSweepReportRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	p := trainedPipeline(t, tinySystem(t))
+	rep, err := p.Sweep(context.Background(), sparkxd.SweepSpec{
+		BERs:    []float64{1e-5, 1e-4},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults resolved: configured voltage, error model, sparkxd policy.
+	if len(rep.Voltages) != 1 || len(rep.Policies) != 1 || rep.Policies[0] != sparkxd.PolicySparkXD {
+		t.Fatalf("defaults not applied: %+v", rep)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := sparkxd.SaveArtifact(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sparkxd.LoadSweepReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, loaded) {
+		t.Fatalf("round trip mismatch:\nsaved:  %+v\nloaded: %+v", rep, loaded)
+	}
+}
