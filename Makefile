@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt-check shard-smoke sweep-smoke examples-smoke lint vuln ci
+.PHONY: build test race bench vet fmt-check shard-smoke sweep-smoke serve-smoke examples-smoke lint vuln ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ sweep-smoke: build
 		-policies baseline,sparkxd -workers 1 -json > /tmp/sparkxd-sweep-w1.json
 	cmp /tmp/sparkxd-sweep-w1.json /tmp/sparkxd-sweep-w2.json
 
+# Job-service smoke: start `sparkxd serve` on a random port, submit a
+# tiny sweep twice through the Go client (same deterministic job ID),
+# poll to completion, and `cmp` the fetched artifact payload against the
+# in-process `sparkxd sweep` output.
+serve-smoke: build
+	./scripts/serve-smoke.sh
+
 # Run every example and both CLIs end to end on tiny budgets, including
 # the persist-then-resume artifact round-trip of `sparkxd single`.
 examples-smoke: build
@@ -62,4 +69,4 @@ lint:
 vuln:
 	govulncheck ./...
 
-ci: build vet fmt-check race bench examples-smoke sweep-smoke
+ci: build vet fmt-check race bench examples-smoke sweep-smoke serve-smoke

@@ -8,6 +8,7 @@ import (
 
 	"sparkxd/internal/mapping"
 	"sparkxd/internal/snn"
+	"sparkxd/internal/store"
 )
 
 // TrainedModel is the persistable outcome of the training stages: a
@@ -222,9 +223,148 @@ type Result struct {
 	Energy     *EnergyReport    `json:"energy"`
 }
 
-// SaveArtifact writes any pipeline artifact to path as indented JSON.
+// Artifact kinds of the content-addressed store (the envelope's kind
+// field and the prefix of every artifact key).
+const (
+	KindTrainedModel    = "trained-model"
+	KindToleranceReport = "tolerance-report"
+	KindPlacement       = "placement"
+	KindEvaluation      = "evaluation"
+	KindEnergyReport    = "energy-report"
+	KindSweepReport     = "sweep-report"
+)
+
+// The artifact store surface, re-exported from internal/store. An
+// ArtifactKey is "<kind>/<sha256-of-canonical-json>"; every stored
+// artifact lives in a typed ArtifactEnvelope {kind, schemaVersion,
+// payload}. See DESIGN.md §8 for the key scheme.
+type (
+	ArtifactStore    = store.Store
+	ArtifactKey      = store.Key
+	ArtifactInfo     = store.Info
+	ArtifactEnvelope = store.Envelope
+)
+
+// OpenStore opens (creating if needed) a filesystem artifact store
+// rooted at dir.
+func OpenStore(dir string) (ArtifactStore, error) {
+	st, err := store.NewFS(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sparkxd: %w", err)
+	}
+	return st, nil
+}
+
+// MemoryStore returns an in-memory artifact store (tests, ephemeral
+// servers).
+func MemoryStore() ArtifactStore { return store.NewMem() }
+
+// ArtifactKind reports the store kind an artifact value is stored under.
+func ArtifactKind(artifact any) (string, error) {
+	switch artifact.(type) {
+	case *TrainedModel:
+		return KindTrainedModel, nil
+	case *ToleranceReport:
+		return KindToleranceReport, nil
+	case *Placement:
+		return KindPlacement, nil
+	case *Evaluation:
+		return KindEvaluation, nil
+	case *EnergyReport:
+		return KindEnergyReport, nil
+	case *SweepReport:
+		return KindSweepReport, nil
+	default:
+		return "", fmt.Errorf("sparkxd: %T is not a storable artifact", artifact)
+	}
+}
+
+// PutArtifact stores a pipeline artifact under its content address and
+// returns the key. Storing the same artifact value twice returns the
+// same key.
+func PutArtifact(st ArtifactStore, artifact any) (ArtifactKey, error) {
+	kind, err := ArtifactKind(artifact)
+	if err != nil {
+		return "", err
+	}
+	key, err := st.Put(kind, artifact)
+	if err != nil {
+		return "", fmt.Errorf("sparkxd: %w", err)
+	}
+	return key, nil
+}
+
+// GetTrainedModel fetches a TrainedModel from the store by key.
+func GetTrainedModel(st ArtifactStore, key ArtifactKey) (*TrainedModel, error) {
+	return getArtifact[TrainedModel](st, key, KindTrainedModel)
+}
+
+// GetToleranceReport fetches a ToleranceReport from the store by key.
+func GetToleranceReport(st ArtifactStore, key ArtifactKey) (*ToleranceReport, error) {
+	return getArtifact[ToleranceReport](st, key, KindToleranceReport)
+}
+
+// GetPlacement fetches a Placement from the store by key.
+func GetPlacement(st ArtifactStore, key ArtifactKey) (*Placement, error) {
+	return getArtifact[Placement](st, key, KindPlacement)
+}
+
+// GetEvaluation fetches an Evaluation from the store by key.
+func GetEvaluation(st ArtifactStore, key ArtifactKey) (*Evaluation, error) {
+	return getArtifact[Evaluation](st, key, KindEvaluation)
+}
+
+// GetEnergyReport fetches an EnergyReport from the store by key.
+func GetEnergyReport(st ArtifactStore, key ArtifactKey) (*EnergyReport, error) {
+	return getArtifact[EnergyReport](st, key, KindEnergyReport)
+}
+
+// GetSweepReport fetches a SweepReport from the store by key.
+func GetSweepReport(st ArtifactStore, key ArtifactKey) (*SweepReport, error) {
+	return getArtifact[SweepReport](st, key, KindSweepReport)
+}
+
+// getArtifact fetches and decodes one artifact, translating store
+// failures to the public sentinels: a missing key satisfies
+// errors.Is(err, ErrMissingArtifact), an untrustworthy envelope
+// errors.Is(err, ErrCorruptArtifact).
+func getArtifact[T any](st ArtifactStore, key ArtifactKey, wantKind string) (*T, error) {
+	env, err := st.Get(key)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			return nil, fmt.Errorf("%w: %w", ErrMissingArtifact, err)
+		case errors.Is(err, store.ErrCorrupt):
+			return nil, fmt.Errorf("%w: %w", ErrCorruptArtifact, err)
+		}
+		return nil, fmt.Errorf("sparkxd: %w", err)
+	}
+	var v T
+	if err := env.Decode(wantKind, &v); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorruptArtifact, err)
+	}
+	return &v, nil
+}
+
+// SaveArtifact writes a pipeline artifact to path as an indented JSON
+// envelope ({kind, schemaVersion, payload}).
+//
+// Deprecated: use PutArtifact with an ArtifactStore for content-addressed
+// persistence; SaveArtifact remains for single-file workflows.
 func SaveArtifact(path string, artifact any) error {
-	b, err := json.MarshalIndent(artifact, "", "  ")
+	kind, err := ArtifactKind(artifact)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(artifact)
+	if err != nil {
+		return fmt.Errorf("sparkxd: save %s: %w", path, err)
+	}
+	b, err := json.MarshalIndent(ArtifactEnvelope{
+		Kind:          kind,
+		SchemaVersion: store.SchemaVersion,
+		Payload:       payload,
+	}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("sparkxd: save %s: %w", path, err)
 	}
@@ -235,34 +375,59 @@ func SaveArtifact(path string, artifact any) error {
 }
 
 // LoadTrainedModel reads a TrainedModel artifact written by SaveArtifact.
+//
+// Deprecated: use GetTrainedModel with an ArtifactStore.
 func LoadTrainedModel(path string) (*TrainedModel, error) {
-	return loadArtifact[TrainedModel](path)
+	return loadArtifact[TrainedModel](path, KindTrainedModel)
 }
 
 // LoadPlacement reads a Placement artifact written by SaveArtifact.
+//
+// Deprecated: use GetPlacement with an ArtifactStore.
 func LoadPlacement(path string) (*Placement, error) {
-	return loadArtifact[Placement](path)
+	return loadArtifact[Placement](path, KindPlacement)
 }
 
 // LoadToleranceReport reads a ToleranceReport artifact.
+//
+// Deprecated: use GetToleranceReport with an ArtifactStore.
 func LoadToleranceReport(path string) (*ToleranceReport, error) {
-	return loadArtifact[ToleranceReport](path)
+	return loadArtifact[ToleranceReport](path, KindToleranceReport)
 }
 
 // LoadSweepReport reads a SweepReport artifact written by SaveArtifact,
 // e.g. to extend or re-render a persisted sweep without re-evaluating.
+//
+// Deprecated: use GetSweepReport with an ArtifactStore.
 func LoadSweepReport(path string) (*SweepReport, error) {
-	return loadArtifact[SweepReport](path)
+	return loadArtifact[SweepReport](path, KindSweepReport)
 }
 
-func loadArtifact[T any](path string) (*T, error) {
+// loadArtifact reads one envelope file. A missing file satisfies both
+// errors.Is(err, ErrMissingArtifact) and errors.Is(err, os.ErrNotExist);
+// truncated JSON or an envelope of the wrong kind satisfies
+// errors.Is(err, ErrCorruptArtifact) instead of yielding a zero-valued
+// artifact.
+func loadArtifact[T any](path, wantKind string) (*T, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: load %s: %w", ErrMissingArtifact, path, err)
+		}
 		return nil, fmt.Errorf("sparkxd: load artifact: %w", err)
 	}
+	var env ArtifactEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("%w: load %s: %w", ErrCorruptArtifact, path, err)
+	}
+	if env.Kind == "" && env.Payload == nil {
+		// Valid JSON but not an envelope at all (e.g. a pre-envelope
+		// artifact file or an unrelated document).
+		return nil, fmt.Errorf("%w: load %s: not an artifact envelope (missing kind)", ErrCorruptArtifact, path)
+	}
 	var v T
-	if err := json.Unmarshal(b, &v); err != nil {
-		return nil, fmt.Errorf("sparkxd: load %s: %w", path, err)
+	if err := env.Decode(wantKind, &v); err != nil {
+		return nil, fmt.Errorf("%w: load %s: %w", ErrCorruptArtifact, path, err)
 	}
 	return &v, nil
 }

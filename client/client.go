@@ -1,0 +1,296 @@
+// Package client is the Go client of the sparkxd job service
+// (`sparkxd serve`): submit pipeline-stage and sweep jobs, poll or
+// stream their progress, and fetch content-addressed result artifacts
+// with end-to-end integrity verification.
+//
+// Typical use:
+//
+//	c, _ := client.New("http://127.0.0.1:8080")
+//	status, _ := c.Submit(ctx, sparkxd.JobSpec{
+//		Kind:   sparkxd.JobSweep,
+//		Config: sparkxd.ConfigSpec{Neurons: 400},
+//		Sweep:  &sparkxd.SweepSpec{Voltages: []float64{1.1, 1.025}},
+//	})
+//	status, _ = c.Wait(ctx, status.ID)
+//	report, _ := c.SweepReport(ctx, status.Artifacts["sweep"])
+//
+// Submission is idempotent: the job ID is derived from the normalized
+// spec, so resubmitting identical work returns the already-running (or
+// already-finished) job.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sparkxd"
+	"sparkxd/internal/store"
+)
+
+// Typed client failures.
+var (
+	// ErrJobFailed is wrapped by Wait when the awaited job reaches
+	// JobFailed; the job's Error message rides along.
+	ErrJobFailed = errors.New("client: job failed")
+	// ErrNotFound marks a 404 from the service (unknown job or artifact).
+	ErrNotFound = errors.New("client: not found")
+)
+
+// Client talks to one sparkxd job server.
+type Client struct {
+	base string
+	hc   *http.Client
+	poll time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithPollInterval sets how often Wait polls the job status.
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) { c.poll = d }
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	base := strings.TrimRight(baseURL, "/")
+	if base == "" {
+		return nil, errors.New("client: empty base URL")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{base: base, hc: http.DefaultClient, poll: 100 * time.Millisecond}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Submit registers a job and returns its status. Submitting the same
+// spec again returns the existing job's status (same deterministic ID).
+func (c *Client) Submit(ctx context.Context, spec sparkxd.JobSpec) (*sparkxd.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal spec: %w", err)
+	}
+	var status sparkxd.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// Job fetches the current status of a job.
+func (c *Client) Job(ctx context.Context, id string) (*sparkxd.JobStatus, error) {
+	var status sparkxd.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// Jobs lists every job the server knows, sorted by ID.
+func (c *Client) Jobs(ctx context.Context) ([]sparkxd.JobStatus, error) {
+	var out []sparkxd.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Wait polls until the job reaches a terminal state. A JobDone status is
+// returned with a nil error; a JobFailed status is returned together
+// with an error satisfying errors.Is(err, ErrJobFailed).
+func (c *Client) Wait(ctx context.Context, id string) (*sparkxd.JobStatus, error) {
+	tick := time.NewTicker(c.poll)
+	defer tick.Stop()
+	for {
+		status, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if status.State.Terminal() {
+			if status.State == sparkxd.JobFailed {
+				return status, fmt.Errorf("%w: %s: %s", ErrJobFailed, id, status.Error)
+			}
+			return status, nil
+		}
+		select {
+		case <-ctx.Done():
+			return status, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Events consumes the job's server-sent event stream, invoking fn for
+// every event until the stream ends (the job reached a terminal state),
+// fn returns an error, or the context is cancelled.
+func (c *Client) Events(ctx context.Context, id string, fn func(sparkxd.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.errorFrom(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // blank separators, comments, other SSE fields
+		}
+		var ev sparkxd.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("client: decode event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("client: event stream: %w", err)
+	}
+	return ctx.Err()
+}
+
+// Artifact fetches the raw envelope of one artifact key and verifies its
+// integrity: the payload must hash back to the key's content address.
+func (c *Client) Artifact(ctx context.Context, key sparkxd.ArtifactKey) (*sparkxd.ArtifactEnvelope, error) {
+	if err := key.Validate(); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/artifacts/"+string(key), nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.errorFrom(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read artifact: %w", err)
+	}
+	env, err := store.DecodeEnvelope(key, bytes.TrimRight(b, "\n"))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return env, nil
+}
+
+// TrainedModel fetches and decodes a trained-model artifact.
+func (c *Client) TrainedModel(ctx context.Context, key sparkxd.ArtifactKey) (*sparkxd.TrainedModel, error) {
+	return fetch[sparkxd.TrainedModel](ctx, c, key, sparkxd.KindTrainedModel)
+}
+
+// ToleranceReport fetches and decodes a tolerance-report artifact.
+func (c *Client) ToleranceReport(ctx context.Context, key sparkxd.ArtifactKey) (*sparkxd.ToleranceReport, error) {
+	return fetch[sparkxd.ToleranceReport](ctx, c, key, sparkxd.KindToleranceReport)
+}
+
+// Placement fetches and decodes a placement artifact.
+func (c *Client) Placement(ctx context.Context, key sparkxd.ArtifactKey) (*sparkxd.Placement, error) {
+	return fetch[sparkxd.Placement](ctx, c, key, sparkxd.KindPlacement)
+}
+
+// Evaluation fetches and decodes an evaluation artifact.
+func (c *Client) Evaluation(ctx context.Context, key sparkxd.ArtifactKey) (*sparkxd.Evaluation, error) {
+	return fetch[sparkxd.Evaluation](ctx, c, key, sparkxd.KindEvaluation)
+}
+
+// EnergyReport fetches and decodes an energy-report artifact.
+func (c *Client) EnergyReport(ctx context.Context, key sparkxd.ArtifactKey) (*sparkxd.EnergyReport, error) {
+	return fetch[sparkxd.EnergyReport](ctx, c, key, sparkxd.KindEnergyReport)
+}
+
+// SweepReport fetches and decodes a sweep-report artifact.
+func (c *Client) SweepReport(ctx context.Context, key sparkxd.ArtifactKey) (*sparkxd.SweepReport, error) {
+	return fetch[sparkxd.SweepReport](ctx, c, key, sparkxd.KindSweepReport)
+}
+
+// fetch is the typed artifact getter behind the per-kind methods.
+func fetch[T any](ctx context.Context, c *Client, key sparkxd.ArtifactKey, wantKind string) (*T, error) {
+	env, err := c.Artifact(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	var v T
+	if err := env.Decode(wantKind, &v); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return &v, nil
+}
+
+// do performs one JSON request/response round trip.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return c.errorFrom(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// errorFrom turns a non-2xx response into a typed error.
+func (c *Client) errorFrom(resp *http.Response) error {
+	var ae struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16)); err == nil {
+		if json.Unmarshal(b, &ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %s", ErrNotFound, msg)
+	}
+	return fmt.Errorf("client: server returned %d: %s", resp.StatusCode, msg)
+}

@@ -1,0 +1,220 @@
+// End-to-end tests of the Go client against an in-process job service:
+// Submit -> Wait -> typed artifact fetch, idempotent resubmission, event
+// streaming, and byte-for-byte equality with a direct in-process
+// Pipeline run of the same spec.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"sparkxd"
+	"sparkxd/client"
+	"sparkxd/internal/server"
+)
+
+// tinySweepSpec is a laptop-fast 2-scenario sweep job.
+func tinySweepSpec() sparkxd.JobSpec {
+	return sparkxd.JobSpec{
+		Kind: sparkxd.JobSweep,
+		Config: sparkxd.ConfigSpec{
+			Neurons:      40,
+			TrainSamples: 50,
+			TestSamples:  25,
+			BaseEpochs:   1,
+			BERSchedule:  []float64{1e-5, 1e-3},
+		},
+		Sweep: &sparkxd.SweepSpec{
+			Voltages:    []float64{1.1},
+			BERs:        []float64{1e-5, 1e-4},
+			ErrorModels: []sparkxd.ErrorModel{sparkxd.ErrorModelUniform},
+			Policies:    []sparkxd.Policy{sparkxd.PolicySparkXD},
+		},
+	}
+}
+
+func newClient(t *testing.T) *client.Client {
+	t.Helper()
+	srv, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The acceptance check of the job service: a sweep submitted through the
+// client produces an artifact byte-identical to the in-process
+// Pipeline.Sweep of the same spec, and resubmitting returns the same
+// deterministic job ID.
+func TestSubmitWaitFetchMatchesInProcessRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	ctx := context.Background()
+	c := newClient(t)
+	spec := tinySweepSpec()
+
+	status, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID, err := spec.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.ID != wantID {
+		t.Errorf("server assigned ID %s, spec hashes to %s", status.ID, wantID)
+	}
+
+	// Idempotent resubmission: same ID, no second job.
+	again, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != status.ID {
+		t.Errorf("resubmission returned ID %s, want %s", again.ID, status.ID)
+	}
+
+	final, err := c.Wait(ctx, status.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v (status %+v)", err, final)
+	}
+	key, ok := final.Artifacts["sweep"]
+	if !ok {
+		t.Fatalf("no sweep artifact (have %v)", final.Artifacts)
+	}
+	served, err := c.SweepReport(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct in-process run of the identical spec.
+	opts, err := spec.Config.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sparkxd.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Pipeline()
+	if _, err := p.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ImproveTolerance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := p.Sweep(ctx, *spec.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	servedJSON, err := json.Marshal(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directJSON, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(servedJSON) != string(directJSON) {
+		t.Errorf("served sweep diverges from the in-process run:\n%s\n---\n%s", servedJSON, directJSON)
+	}
+
+	// And the key is the content address of exactly those bytes.
+	wantKey, err := sparkxd.PutArtifact(sparkxd.MemoryStore(), direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != wantKey {
+		t.Errorf("artifact key %s != content address of the direct run %s", key, wantKey)
+	}
+}
+
+// Events streams the job's progress: lifecycle events arrive in order
+// and the stream terminates once the job is done.
+func TestEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	ctx := context.Background()
+	c := newClient(t)
+	spec := sparkxd.JobSpec{
+		Kind:  sparkxd.JobPipeline,
+		Stage: "train",
+		Config: sparkxd.ConfigSpec{
+			Neurons: 40, TrainSamples: 50, TestSamples: 25, BaseEpochs: 1,
+			BERSchedule: []float64{1e-5, 1e-3},
+		},
+	}
+	status, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases []string
+	err = c.Events(ctx, status.ID, func(ev sparkxd.Event) error {
+		if ev.Stage == "job" {
+			phases = append(phases, ev.Phase)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(phases) == 0 || phases[0] != "queued" || phases[len(phases)-1] != "done" {
+		t.Errorf("job lifecycle phases = %v, want queued..done", phases)
+	}
+}
+
+func TestWaitOnFailedJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	ctx := context.Background()
+	c := newClient(t)
+	// An out-of-range BER axis passes spec normalization (which only
+	// canonicalizes names) but fails sweep validation at execution time.
+	spec := tinySweepSpec()
+	spec.Sweep.BERs = []float64{0.75}
+	status, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, status.ID)
+	if !errors.Is(err, client.ErrJobFailed) {
+		t.Fatalf("want ErrJobFailed, got %v", err)
+	}
+	if final == nil || final.State != sparkxd.JobFailed || final.Error == "" {
+		t.Errorf("failed status not surfaced: %+v", final)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	ctx := context.Background()
+	c := newClient(t)
+	if _, err := c.Job(ctx, "deadbeef"); !errors.Is(err, client.ErrNotFound) {
+		t.Errorf("unknown job: want ErrNotFound, got %v", err)
+	}
+	missing := sparkxd.ArtifactKey(sparkxd.KindSweepReport + "/0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	if _, err := c.SweepReport(ctx, missing); !errors.Is(err, client.ErrNotFound) {
+		t.Errorf("unknown artifact: want ErrNotFound, got %v", err)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	ctx := context.Background()
+	c := newClient(t)
+	if _, err := c.Submit(ctx, sparkxd.JobSpec{Kind: "compile"}); err == nil {
+		t.Error("invalid spec must be rejected")
+	}
+}

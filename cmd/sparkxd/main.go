@@ -19,6 +19,14 @@
 // With -json, one deterministic result record per configuration is
 // written to stdout (byte-identical for any -workers value or -shard
 // split) and timing records go to stderr.
+//
+//	sparkxd serve -addr 127.0.0.1:8080 -store ./artifacts
+//	sparkxd job submit -addr http://127.0.0.1:8080 -spec job.json
+//
+// The serve subcommand exposes the pipeline and sweep engine as an HTTP
+// job service over a content-addressed artifact store, and job is its
+// command-line client (see DESIGN.md §8 and the sparkxd/client
+// package).
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,7 +49,7 @@ import (
 	"sparkxd/internal/sched"
 )
 
-func usage(w *os.File) {
+func usage(w io.Writer) {
 	fmt.Fprintf(w, `sparkxd — resilient SNN inference on approximate DRAM
 
 Usage:
@@ -51,6 +60,9 @@ Commands:
   run       sweep a (dataset x size) grid on the work-stealing scheduler
   sweep     evaluate one model over a (voltage x BER x error model x
             policy) scenario grid on the batched sweep engine
+  serve     run the HTTP job service over a content-addressed store
+  job       talk to a running job service (submit, status, wait,
+            events, fetch)
   help      show this message
 
 Run "sparkxd <command> -h" for the command's flags.
@@ -58,39 +70,58 @@ Run "sparkxd <command> -h" for the command's flags.
 }
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run dispatches the subcommand and returns the process exit code:
-// 0 success, 1 runtime failure, 2 usage error.
-func run(args []string) int {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
+// 0 success, 1 runtime failure, 2 usage error. Every subcommand shares
+// this contract: unknown commands and bad flags print usage to stderr
+// and exit 2, runtime failures exit 1.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		usage(os.Stderr)
+		usage(stderr)
 		return 2
 	}
 	switch args[0] {
 	case "single":
-		return runSingle(ctx, args[1:])
+		return runSingle(ctx, args[1:], stdout, stderr)
 	case "run":
-		return runSuite(ctx, args[1:])
+		return runSuite(ctx, args[1:], stdout, stderr)
 	case "sweep":
-		return runSweep(ctx, args[1:])
+		return runSweep(ctx, args[1:], stdout, stderr)
+	case "serve":
+		return runServe(ctx, args[1:], stdout, stderr)
+	case "job":
+		return runJob(ctx, args[1:], stdout, stderr)
 	case "help", "-h", "--help":
-		usage(os.Stdout)
+		usage(stdout)
 		return 0
 	default:
 		// Back-compat: a leading flag ("sparkxd -neurons 400") routes to
 		// the single-run pipeline.
 		if strings.HasPrefix(args[0], "-") {
-			return runSingle(ctx, args)
+			return runSingle(ctx, args, stdout, stderr)
 		}
-		fmt.Fprintf(os.Stderr, "sparkxd: unknown command %q\n\n", args[0])
-		usage(os.Stderr)
+		fmt.Fprintf(stderr, "sparkxd: unknown command %q\n\n", args[0])
+		usage(stderr)
 		return 2
 	}
+}
+
+// parseFlags applies the shared flag-parsing contract: -h/-help prints
+// the flag set's usage and exits 0; a bad flag prints usage to stderr
+// and exits 2. The returned code is only meaningful when done is true.
+func parseFlags(fs *flag.FlagSet, args []string, stderr io.Writer) (code int, done bool) {
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0, true
+		}
+		return 2, true
+	}
+	return 0, false
 }
 
 // pipelineRecord is the deterministic per-configuration record emitted
@@ -111,8 +142,8 @@ type pipelineRecord struct {
 	Speedup     float64 `json:"speedup,omitempty"`
 }
 
-func runSuite(ctx context.Context, args []string) int {
-	fs := flag.NewFlagSet("sparkxd run", flag.ExitOnError)
+func runSuite(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sparkxd run", flag.ContinueOnError)
 	var (
 		neurons   = fs.String("neurons", "200,400", "comma-separated excitatory neuron counts")
 		flavors   = fs.String("datasets", "mnist,fashion", "comma-separated dataset flavours (mnist, fashion)")
@@ -125,12 +156,12 @@ func runSuite(ctx context.Context, args []string) int {
 		shardSpec = fs.String("shard", "", "run only slice i/m of the sweep (e.g. 1/2)")
 		jsonOut   = fs.Bool("json", false, "emit JSON result records on stdout, timing records on stderr")
 	)
-	if err := fs.Parse(args); err != nil {
-		return 2
+	if code, done := parseFlags(fs, args, stderr); done {
+		return code
 	}
 	shard, err := sched.ParseShard(*shardSpec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd run: %v\n", err)
 		return 2
 	}
 
@@ -138,7 +169,7 @@ func runSuite(ctx context.Context, args []string) int {
 	for _, tok := range strings.Split(*neurons, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "sparkxd run: bad neuron count %q\n", tok)
+			fmt.Fprintf(stderr, "sparkxd run: bad neuron count %q\n", tok)
 			return 2
 		}
 		sizes = append(sizes, n)
@@ -147,7 +178,7 @@ func runSuite(ctx context.Context, args []string) int {
 	for _, tok := range strings.Split(*flavors, ",") {
 		fl, err := sparkxd.ParseDataset(strings.TrimSpace(tok))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", err)
+			fmt.Fprintf(stderr, "sparkxd run: %v\n", err)
 			return 2
 		}
 		fls = append(fls, fl)
@@ -155,7 +186,7 @@ func runSuite(ctx context.Context, args []string) int {
 
 	s, err := sched.New(sched.Config{Workers: *workers, Shard: shard, Seed: *seed})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd run: %v\n", err)
 		return 2
 	}
 	type jobCfg struct {
@@ -193,7 +224,7 @@ func runSuite(ctx context.Context, args []string) int {
 				return sys.Pipeline().Run(ctx)
 			}})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", err)
+			fmt.Fprintf(stderr, "sparkxd run: %v\n", err)
 			return 2
 		}
 	}
@@ -205,8 +236,8 @@ func runSuite(ctx context.Context, args []string) int {
 	}
 
 	if *jsonOut {
-		out := json.NewEncoder(os.Stdout)
-		diag := json.NewEncoder(os.Stderr)
+		out := json.NewEncoder(stdout)
+		diag := json.NewEncoder(stderr)
 		for _, rep := range reports {
 			rec := pipelineRecord{Job: rep.Name}
 			if rep.Err != nil {
@@ -248,16 +279,16 @@ func runSuite(ctx context.Context, args []string) int {
 				fmt.Sprintf("%.0e", res.Tolerance.BERth), res.Energy.SparkXD.TotalMJ,
 				report.Pct(res.Energy.Savings), fmt.Sprintf("%.3fx", res.Energy.Speedup))
 		}
-		tb.Render(os.Stdout)
+		tb.Render(stdout)
 		for _, rep := range ordered {
 			if rep.Err == nil {
-				fmt.Fprintf(os.Stderr, "timing: %-24s %8.1f ms (worker %d)\n",
+				fmt.Fprintf(stderr, "timing: %-24s %8.1f ms (worker %d)\n",
 					rep.Name, float64(rep.Elapsed.Microseconds())/1000, rep.Worker)
 			}
 		}
 	}
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd run: %v\n", report.FirstLine(runErr.Error()))
+		fmt.Fprintf(stderr, "sparkxd run: %v\n", report.FirstLine(runErr.Error()))
 		return 1
 	}
 	return 0
@@ -266,8 +297,8 @@ func runSuite(ctx context.Context, args []string) int {
 // runSweep drives Pipeline.Sweep: train (or resume) one model, then
 // evaluate it over the scenario grid on the batched sweep engine. The
 // -json report is byte-identical for any -workers value.
-func runSweep(ctx context.Context, args []string) int {
-	fs := flag.NewFlagSet("sparkxd sweep", flag.ExitOnError)
+func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sparkxd sweep", flag.ContinueOnError)
 	var (
 		neurons  = fs.Int("neurons", 400, "excitatory neurons")
 		flavor   = fs.String("dataset", "mnist", "dataset flavour: mnist or fashion")
@@ -285,33 +316,38 @@ func runSweep(ctx context.Context, args []string) int {
 		resume   = fs.String("resume", "", "directory with a persisted improved model to sweep (skips training)")
 		quiet    = fs.Bool("quiet", false, "suppress progress events on stderr")
 	)
-	if err := fs.Parse(args); err != nil {
-		return 2
+	if code, done := parseFlags(fs, args, stderr); done {
+		return code
 	}
 	fl, err := sparkxd.ParseDataset(*flavor)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 		return 2
 	}
 	spec := sparkxd.SweepSpec{Workers: *workers}
 	if spec.Voltages, err = parseFloatList(*voltages); err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd sweep: -voltages: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd sweep: -voltages: %v\n", err)
 		return 2
 	}
 	if spec.BERs, err = parseFloatList(*bers); err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd sweep: -bers: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd sweep: -bers: %v\n", err)
 		return 2
 	}
 	for _, tok := range splitList(*models) {
 		m, err := sparkxd.ParseErrorModel(tok)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 			return 2
 		}
 		spec.ErrorModels = append(spec.ErrorModels, m)
 	}
 	for _, tok := range splitList(*policies) {
-		spec.Policies = append(spec.Policies, sparkxd.Policy(tok))
+		pol, err := sparkxd.ParsePolicy(tok)
+		if err != nil {
+			fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
+			return 2
+		}
+		spec.Policies = append(spec.Policies, pol)
 	}
 
 	opts := []sparkxd.Option{
@@ -324,66 +360,85 @@ func runSweep(ctx context.Context, args []string) int {
 	if !*quiet && !*jsonOut {
 		opts = append(opts, sparkxd.WithObserver(func(ev sparkxd.Event) {
 			if ev.Phase == "start" || ev.Phase == "done" {
-				fmt.Fprintf(os.Stderr, "%s: %-8s %s\n", ev.Phase, ev.Stage, ev.Message)
+				fmt.Fprintf(stderr, "%s: %-8s %s\n", ev.Phase, ev.Stage, ev.Message)
 			}
 		}))
 	}
 	sys, err := sparkxd.New(opts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 		return 2
 	}
 	// Reject a malformed grid before spending time training.
 	if err := sys.ValidateSweep(spec); err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 		return 2
 	}
 
 	p := sys.Pipeline()
 	if *resume != "" {
-		m, err := loadResumeModel(*resume, *neurons, fl, *trainN, *testN, *seed)
+		rd, err := openResumeDir(*resume)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 			return 1
 		}
-		if m != nil {
-			p.Improved = m
-			fmt.Fprintf(os.Stderr, "resume: loaded improved model (%s, N%d)\n", m.Dataset, m.Neurons)
+		if rd != nil {
+			m, err := rd.model(*neurons, fl, *trainN, *testN, *seed)
+			if err != nil {
+				fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
+				return 1
+			}
+			if m != nil {
+				p.Improved = m
+				fmt.Fprintf(stderr, "resume: loaded improved model (%s, N%d)\n", m.Dataset, m.Neurons)
+			}
 		}
 	}
 	if p.Improved == nil {
 		// Train the same fault-aware improved model a -resume run loads,
 		// so fresh and resumed sweeps evaluate comparable models.
 		if _, err := p.Train(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 			return 1
 		}
 		if _, err := p.ImproveTolerance(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 			return 1
 		}
 	}
 	rep, err := p.Sweep(ctx, spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 		return 1
 	}
 	if *artDir != "" {
-		if err := os.MkdirAll(*artDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		// Persist through the content-addressed store (plus the manifest
+		// -resume reads), recording the swept model next to its report.
+		st, err := sparkxd.OpenStore(*artDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 			return 1
 		}
-		if err := sparkxd.SaveArtifact(filepath.Join(*artDir, "sweep.json"), rep); err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+		roles := map[string]sparkxd.ArtifactKey{}
+		for role, v := range map[string]any{"improved": p.Improved, "sweep": rep} {
+			key, err := sparkxd.PutArtifact(st, v)
+			if err != nil {
+				fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
+				return 1
+			}
+			roles[role] = key
+		}
+		if err := writeManifest(*artDir, roles); err != nil {
+			fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 			return 1
 		}
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd sweep: %v\n", err)
+			fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
 			return 1
 		}
 		return 0
@@ -394,7 +449,7 @@ func runSweep(ctx context.Context, args []string) int {
 		tb.AddRow(pt.Key, fmt.Sprintf("%.0e", pt.EffectiveBERth), pt.SafeSubarrays,
 			pt.FlippedBits, report.Pct(pt.Accuracy), pt.EnergyMJ, report.Pct(pt.HitRate))
 	}
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
 	return 0
 }
 
@@ -422,8 +477,8 @@ func parseFloatList(s string) ([]float64, error) {
 	return out, nil
 }
 
-func runSingle(ctx context.Context, args []string) int {
-	fs := flag.NewFlagSet("sparkxd single", flag.ExitOnError)
+func runSingle(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sparkxd single", flag.ContinueOnError)
 	var (
 		neurons   = fs.Int("neurons", 400, "excitatory neurons (paper: 400/900/1600/2500/3600)")
 		flavor    = fs.String("dataset", "mnist", "dataset flavour: mnist or fashion")
@@ -436,12 +491,12 @@ func runSingle(ctx context.Context, args []string) int {
 		artifacts = fs.String("artifacts", "", "directory to persist stage artifacts (model, tolerance, placement)")
 		resume    = fs.String("resume", "", "directory with persisted artifacts to resume from (skips training)")
 	)
-	if err := fs.Parse(args); err != nil {
-		return 2
+	if code, done := parseFlags(fs, args, stderr); done {
+		return code
 	}
 	fl, err := sparkxd.ParseDataset(*flavor)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd: %v\n", err)
 		return 2
 	}
 
@@ -456,52 +511,58 @@ func runSingle(ctx context.Context, args []string) int {
 	if !*quiet {
 		opts = append(opts, sparkxd.WithObserver(func(ev sparkxd.Event) {
 			if ev.Phase == "progress" && ev.Epochs > 0 {
-				fmt.Fprintf(os.Stderr, "progress: %-8s %d/%d\n", ev.Stage, ev.Epoch, ev.Epochs)
+				fmt.Fprintf(stderr, "progress: %-8s %d/%d\n", ev.Stage, ev.Epoch, ev.Epochs)
 			} else if ev.Phase == "done" {
-				fmt.Fprintf(os.Stderr, "done:     %-8s %s\n", ev.Stage, ev.Message)
+				fmt.Fprintf(stderr, "done:     %-8s %s\n", ev.Stage, ev.Message)
 			}
 		}))
 	}
 	sys, err := sparkxd.New(opts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd: %v\n", err)
 		return 2
 	}
 
 	p := sys.Pipeline()
 	if *resume != "" {
-		m, err := loadResumeModel(*resume, *neurons, fl, *trainN, *testN, *seed)
+		rd, err := openResumeDir(*resume)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+			fmt.Fprintf(stderr, "sparkxd: %v\n", err)
 			return 1
 		}
-		if m != nil {
-			p.Improved = m
-			fmt.Fprintf(os.Stderr, "resume: loaded improved model (%s, N%d)\n", m.Dataset, m.Neurons)
-			// The tolerance report is only reusable together with the
-			// model it was measured on; never resume it alone.
-			tolPath := filepath.Join(*resume, "tolerance.json")
-			tol, err := sparkxd.LoadToleranceReport(tolPath)
-			switch {
-			case err == nil:
-				p.Tolerance = tol
-				fmt.Fprintf(os.Stderr, "resume: loaded tolerance report (BERth %.0e)\n", tol.BERth)
-			case !errors.Is(err, os.ErrNotExist):
-				fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+		if rd != nil {
+			m, err := rd.model(*neurons, fl, *trainN, *testN, *seed)
+			if err != nil {
+				fmt.Fprintf(stderr, "sparkxd: %v\n", err)
 				return 1
+			}
+			if m != nil {
+				p.Improved = m
+				fmt.Fprintf(stderr, "resume: loaded improved model (%s, N%d)\n", m.Dataset, m.Neurons)
+				// The tolerance report is only reusable together with the
+				// model it was measured on; never resume it alone.
+				tol, err := rd.tolerance()
+				if err != nil {
+					fmt.Fprintf(stderr, "sparkxd: %v\n", err)
+					return 1
+				}
+				if tol != nil {
+					p.Tolerance = tol
+					fmt.Fprintf(stderr, "resume: loaded tolerance report (BERth %.0e)\n", tol.BERth)
+				}
 			}
 		}
 	}
 
-	fmt.Printf("SparkXD: N%d on %s, approximate DRAM at %.3f V\n", *neurons, fl, *voltage)
+	fmt.Fprintf(stdout, "SparkXD: N%d on %s, approximate DRAM at %.3f V\n", *neurons, fl, *voltage)
 	res, err := p.Run(ctx)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+		fmt.Fprintf(stderr, "sparkxd: %v\n", err)
 		return 1
 	}
 	if *artifacts != "" {
 		if err := saveArtifacts(*artifacts, res); err != nil {
-			fmt.Fprintf(os.Stderr, "sparkxd: %v\n", err)
+			fmt.Fprintf(stderr, "sparkxd: %v\n", err)
 			return 1
 		}
 	}
@@ -515,65 +576,151 @@ func runSingle(ctx context.Context, args []string) int {
 	tb.AddRow("DRAM energy savings", report.Pct(res.Energy.Savings))
 	tb.AddRow("speed-up (mapping effect)", fmt.Sprintf("%.3fx", res.Energy.Speedup))
 	tb.AddRow("row-buffer hit rate (SparkXD)", report.Pct(res.Energy.SparkXD.HitRate))
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
 
 	curve := report.NewTable("error-tolerance curve of the improved model", "BER", "accuracy")
 	for _, pt := range res.Tolerance.Curve {
 		curve.AddRow(fmt.Sprintf("%.0e", pt.BER), report.Pct(pt.Acc))
 	}
-	curve.Render(os.Stdout)
+	curve.Render(stdout)
 	return 0
 }
 
-// loadResumeModel loads dir/improved.json if present. A missing file
-// means "nothing to resume" (nil, nil); a corrupt file or a model that
-// does not match the requested configuration is an error — silently
-// computing results from a mismatched checkpoint would be worse than
-// failing.
-func loadResumeModel(dir string, neurons int, fl sparkxd.Dataset, trainN, testN int, seed uint64) (*sparkxd.TrainedModel, error) {
-	path := filepath.Join(dir, "improved.json")
-	m, err := sparkxd.LoadTrainedModel(path)
+// An -artifacts directory is a content-addressed store plus a
+// manifest.json mapping stage roles ("improved", "tolerance", ...) to
+// the store keys of the latest run, so -resume can find "the improved
+// model" without knowing its content hash.
+const manifestName = "manifest.json"
+
+// writeManifest merges roles into the directory's manifest: roles
+// persisted by earlier runs (e.g. `single -artifacts` before a
+// `sweep -artifacts` into the same directory) keep their entries
+// unless this run re-recorded them.
+func writeManifest(dir string, roles map[string]sparkxd.ArtifactKey) error {
+	merged, err := readManifest(dir)
+	if err != nil {
+		return err
+	}
+	if merged == nil {
+		merged = make(map[string]sparkxd.ArtifactKey, len(roles))
+	}
+	for role, key := range roles {
+		merged[role] = key
+	}
+	b, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return fmt.Errorf("write manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads the role -> key map; (nil, nil) when dir has no
+// manifest (nothing persisted there yet).
+func readManifest(dir string) (map[string]sparkxd.ArtifactKey, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, nil
 		}
+		return nil, fmt.Errorf("read manifest: %w", err)
+	}
+	var roles map[string]sparkxd.ArtifactKey
+	if err := json.Unmarshal(b, &roles); err != nil {
+		return nil, fmt.Errorf("read manifest %s: %w", filepath.Join(dir, manifestName), err)
+	}
+	return roles, nil
+}
+
+// resumeDir is an opened -resume directory: its store and manifest,
+// read once and shared by the per-artifact loaders.
+type resumeDir struct {
+	st    sparkxd.ArtifactStore
+	roles map[string]sparkxd.ArtifactKey
+}
+
+// openResumeDir opens dir's store and manifest. Nothing persisted there
+// means "nothing to resume" (nil, nil).
+func openResumeDir(dir string) (*resumeDir, error) {
+	roles, err := readManifest(dir)
+	if err != nil {
 		return nil, err
 	}
+	if len(roles) == 0 {
+		return nil, nil
+	}
+	st, err := sparkxd.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &resumeDir{st: st, roles: roles}, nil
+}
+
+// model loads the persisted improved model, or (nil, nil) when the
+// manifest has none. A corrupt artifact or a model that does not match
+// the requested configuration is an error — silently computing results
+// from a mismatched checkpoint would be worse than failing.
+func (r *resumeDir) model(neurons int, fl sparkxd.Dataset, trainN, testN int, seed uint64) (*sparkxd.TrainedModel, error) {
+	key, ok := r.roles["improved"]
+	if !ok {
+		return nil, nil
+	}
+	m, err := sparkxd.GetTrainedModel(r.st, key)
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
 	if m.Neurons != neurons {
-		return nil, fmt.Errorf("resume: %s was trained with %d neurons, but -neurons is %d", path, m.Neurons, neurons)
+		return nil, fmt.Errorf("resume: %s was trained with %d neurons, but -neurons is %d", key, m.Neurons, neurons)
 	}
 	if want := fl.String(); m.Dataset != "" && m.Dataset != want {
-		return nil, fmt.Errorf("resume: %s was trained on %q, but -dataset is %q", path, m.Dataset, want)
+		return nil, fmt.Errorf("resume: %s was trained on %q, but -dataset is %q", key, m.Dataset, want)
 	}
 	if m.TrainSamples != 0 && (m.TrainSamples != trainN || m.TestSamples != testN) {
 		return nil, fmt.Errorf("resume: %s was measured with -train %d -test %d, but got -train %d -test %d",
-			path, m.TrainSamples, m.TestSamples, trainN, testN)
+			key, m.TrainSamples, m.TestSamples, trainN, testN)
 	}
 	if m.Seed != seed {
-		return nil, fmt.Errorf("resume: %s was trained with -seed %d, but got -seed %d", path, m.Seed, seed)
+		return nil, fmt.Errorf("resume: %s was trained with -seed %d, but got -seed %d", key, m.Seed, seed)
 	}
 	return m, nil
 }
 
-// saveArtifacts persists the resumable stage artifacts to dir.
+// tolerance loads the persisted tolerance report, or (nil, nil) when
+// the manifest has none.
+func (r *resumeDir) tolerance() (*sparkxd.ToleranceReport, error) {
+	key, ok := r.roles["tolerance"]
+	if !ok {
+		return nil, nil
+	}
+	tol, err := sparkxd.GetToleranceReport(r.st, key)
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
+	return tol, nil
+}
+
+// saveArtifacts persists the resumable stage artifacts into the
+// content-addressed store at dir and records their keys in the manifest.
 func saveArtifacts(dir string, res *sparkxd.Result) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	st, err := sparkxd.OpenStore(dir)
+	if err != nil {
 		return err
 	}
-	files := []struct {
-		name string
-		v    any
-	}{
-		{"improved.json", res.Improved},
-		{"tolerance.json", res.Tolerance},
-		{"placement.json", res.Placement},
-		{"evaluation.json", res.Evaluation},
-		{"energy.json", res.Energy},
-	}
-	for _, f := range files {
-		if err := sparkxd.SaveArtifact(filepath.Join(dir, f.name), f.v); err != nil {
-			return err
+	roles := map[string]sparkxd.ArtifactKey{}
+	for role, v := range map[string]any{
+		"improved":   res.Improved,
+		"tolerance":  res.Tolerance,
+		"placement":  res.Placement,
+		"evaluation": res.Evaluation,
+		"energy":     res.Energy,
+	} {
+		key, err := sparkxd.PutArtifact(st, v)
+		if err != nil {
+			return fmt.Errorf("save %s: %w", role, err)
 		}
+		roles[role] = key
 	}
-	return nil
+	return writeManifest(dir, roles)
 }

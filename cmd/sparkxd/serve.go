@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"sparkxd"
+	"sparkxd/internal/server"
+)
+
+// runServe starts the HTTP job service: submit pipeline-stage and sweep
+// jobs over POST /v1/jobs, poll GET /v1/jobs/{id}, stream progress from
+// GET /v1/jobs/{id}/events, and fetch content-addressed artifacts from
+// GET /v1/artifacts/{key}. The listening address is printed on stdout
+// ("listening on http://HOST:PORT"), so scripts can bind -addr to port 0
+// and discover the port.
+func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sparkxd serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		storeDir = fs.String("store", "", "artifact store directory (empty = in-memory, lost on exit)")
+		workers  = fs.Int("workers", 0, "job execution pool size (0 = GOMAXPROCS)")
+		quiet    = fs.Bool("quiet", false, "suppress job lifecycle logs on stderr")
+	)
+	if code, done := parseFlags(fs, args, stderr); done {
+		return code
+	}
+
+	var (
+		st  sparkxd.ArtifactStore
+		err error
+	)
+	if *storeDir != "" {
+		if st, err = sparkxd.OpenStore(*storeDir); err != nil {
+			fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
+			return 1
+		}
+	} else {
+		st = sparkxd.MemoryStore()
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "serve: "+format+"\n", a...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	srv, err := server.New(server.Config{Store: st, Workers: *workers, Logf: logf})
+	if err != nil {
+		fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
+		return 1
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutCtx)
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
+		return 1
+	}
+	<-done
+	return 0
+}

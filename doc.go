@@ -18,6 +18,16 @@
 //	p := sys.Pipeline()
 //	res, err := p.Run(ctx)
 //
+// Artifacts persist in content-addressed stores (OpenStore,
+// PutArtifact, Get*): every value is wrapped in a typed envelope and
+// addressed by "<kind>/<sha256-of-canonical-json>", so writes are
+// idempotent and reads integrity-checked. The same scheme gives jobs
+// deterministic identities: a JobSpec (pipeline stage or sweep grid
+// plus a ConfigSpec) hashes to its job ID, which the `sparkxd serve`
+// HTTP service and the sparkxd/client package use for idempotent
+// submit/poll/stream execution against shared warm engines (DESIGN.md
+// §8).
+//
 // See the package Example for the staged save/resume flow. The
 // algorithmic kernel lives under internal/ (DESIGN.md has the system
 // inventory), runnable binaries under cmd/, usage examples under

@@ -32,6 +32,19 @@ var (
 	// out-of-range BER, unknown policy or error model, or axis values
 	// that collide at scenario-key precision).
 	ErrInvalidSweep = errors.New("sparkxd: invalid sweep spec")
+
+	// ErrCorruptArtifact is returned by the artifact loaders and typed
+	// store getters when the stored bytes cannot be trusted: truncated or
+	// malformed JSON, an envelope whose kind disagrees with the requested
+	// artifact type, or a payload that fails integrity checks. The
+	// underlying cause (e.g. a *json.SyntaxError) stays inspectable with
+	// errors.As.
+	ErrCorruptArtifact = errors.New("sparkxd: corrupt artifact")
+
+	// ErrInvalidJobSpec is returned when a JobSpec cannot be normalized
+	// into a runnable job (unknown kind, stage, dataset, error model, or
+	// policy).
+	ErrInvalidJobSpec = errors.New("sparkxd: invalid job spec")
 )
 
 // wrapStage normalizes an error escaping a pipeline stage: cancellation

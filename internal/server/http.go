@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sparkxd"
+	"sparkxd/internal/store"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/jobs                submit a JobSpec (idempotent; 202 on
+//	                             creation, 200 when the job already exists)
+//	GET  /v1/jobs                list job statuses
+//	GET  /v1/jobs/{id}           one job's status
+//	GET  /v1/jobs/{id}/events    server-sent progress events, replayed
+//	                             from the start and streamed until the job
+//	                             reaches a terminal state
+//	GET  /v1/artifacts/{key...}  the stored envelope of one artifact key
+//	GET  /v1/healthz             liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/artifacts/{key...}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// apiError is the JSON error body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec sparkxd.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
+		return
+	}
+	status, created, err := s.Submit(spec)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, sparkxd.ErrInvalidJobSpec) {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, status)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	status, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+// handleEvents streams a job's progress as server-sent events: every
+// recorded event is replayed first, then new events stream live until
+// the job reaches a terminal state (or the client goes away).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	sent := 0
+	for {
+		evs, next, terminal, notify, ok := s.eventsSince(id, sent)
+		if !ok {
+			return
+		}
+		for _, ev := range evs {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", b)
+		}
+		sent = next
+		flusher.Flush()
+		// terminal is snapshotted under the same lock as the events, so a
+		// true value means every event has been delivered.
+		if terminal {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	key := sparkxd.ArtifactKey(r.PathValue("key"))
+	env, err := s.st.Get(key)
+	switch {
+	case err == nil:
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, store.ErrBadKey):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// Serve the canonical envelope encoding, so what a client fetches
+	// hashes back to the key it asked for.
+	b, err := json.Marshal(env)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(b, '\n'))
+}

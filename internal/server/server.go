@@ -1,0 +1,531 @@
+// Package server is the sparkxd job service: an HTTP/JSON API that
+// accepts pipeline-stage and scenario-sweep jobs, executes them
+// asynchronously on the internal/sched work-stealing pool, and persists
+// every result into a content-addressed artifact store.
+//
+// Three properties shape the design (DESIGN.md §8):
+//
+//   - Deterministic identity. A job's ID is the hash of its normalized
+//     spec, so submitting the same work twice — from one client or many —
+//     addresses the same job: the second submission returns the first
+//     job's status without re-executing anything.
+//   - Shared warm engines. Jobs whose specs share a configuration
+//     fingerprint run against one shared *sparkxd.System, so device
+//     profiles, datasets, and sweep caches derived for an earlier job are
+//     reused by later ones instead of re-derived per request.
+//   - Content-addressed results. Artifacts are stored under
+//     <kind>/<sha256-of-canonical-json>; because execution is
+//     deterministic in the spec, re-running an identical job reproduces
+//     identical artifact keys.
+//
+// Progress events stream over GET /v1/jobs/{id}/events as server-sent
+// events, backed by the SDK's Observer hook. Because the observer is
+// attached to the shared System, events are scoped to the configuration
+// fingerprint: two jobs with identical configurations running at the
+// same time each see the merged event stream of that engine.
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sparkxd"
+	"sparkxd/internal/sched"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store receives every job artifact; nil means an in-memory store.
+	Store sparkxd.ArtifactStore
+	// Workers sizes the job execution pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Logf, when non-nil, receives one line per job state transition.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the job table, the execution pool, and the artifact store.
+// Create with New, serve its Handler, and Close it to stop the pool.
+type Server struct {
+	st      sparkxd.ArtifactStore
+	workers int
+	logf    func(string, ...any)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*jobRec
+	queue   []*jobRec
+	wake    chan struct{}
+	closed  bool
+	systems map[string]*sysEntry
+	running map[string]map[*jobRec]struct{} // config fingerprint -> jobs executing now
+
+	// cache persists across execution batches so sched jobs can share
+	// single-flight artifacts the way the experiment suite does.
+	cache *sched.Cache
+}
+
+// maxJobEvents bounds one job's retained event history. Engine events
+// of a busy shared System fan out to every job running on it, so an
+// unbounded log would grow for the server's lifetime; once the cap is
+// hit the oldest events are dropped (SSE subscribers that have already
+// read them are unaffected, late subscribers miss the trimmed prefix).
+const maxJobEvents = 1024
+
+// jobRec is the server-side state of one job. Records themselves are
+// kept for the server's lifetime — the job table IS the dedup index
+// that makes submission idempotent — but their event logs are bounded.
+type jobRec struct {
+	status  sparkxd.JobStatus
+	fp      string // config fingerprint (the System-sharing key)
+	cost    float64
+	events  []sparkxd.Event
+	dropped int           // events trimmed off the front of the log
+	notify  chan struct{} // closed and replaced on every update
+}
+
+// sysEntry lazily builds one shared System per config fingerprint.
+type sysEntry struct {
+	once sync.Once
+	sys  *sparkxd.System
+	err  error
+}
+
+// New builds a Server and starts its dispatcher.
+func New(cfg Config) (*Server, error) {
+	st := cfg.Store
+	if st == nil {
+		st = sparkxd.MemoryStore()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		st:      st,
+		workers: workers,
+		logf:    logf,
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*jobRec),
+		wake:    make(chan struct{}, 1),
+		systems: make(map[string]*sysEntry),
+		running: make(map[string]map[*jobRec]struct{}),
+		cache:   sched.NewCache(),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Store returns the artifact store the server persists into.
+func (s *Server) Store() sparkxd.ArtifactStore { return s.st }
+
+// Close stops accepting work, cancels running jobs, and waits for the
+// dispatcher to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	s.wg.Wait()
+}
+
+// Submit registers a job (idempotently) and returns its status plus
+// whether this submission created it. An identical spec — same job ID —
+// returns the existing job, whatever its state.
+func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		return sparkxd.JobStatus{}, false, err
+	}
+	id, err := norm.ID()
+	if err != nil {
+		return sparkxd.JobStatus{}, false, err
+	}
+	fp, err := norm.Config.Fingerprint()
+	if err != nil {
+		return sparkxd.JobStatus{}, false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.jobs[id]; ok {
+		return copyStatus(rec.status), false, nil
+	}
+	if s.closed {
+		return sparkxd.JobStatus{}, false, fmt.Errorf("server closed")
+	}
+	rec := &jobRec{
+		status: sparkxd.JobStatus{ID: id, State: sparkxd.JobQueued, Spec: norm},
+		fp:     fp,
+		cost:   float64(norm.Config.Neurons),
+		notify: make(chan struct{}),
+	}
+	s.jobs[id] = rec
+	s.queue = append(s.queue, rec)
+	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "queued", Message: id})
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	s.logf("job %s queued (%s)", id, norm.Kind)
+	return copyStatus(rec.status), true, nil
+}
+
+// Job returns the status of a job by ID.
+func (s *Server) Job(id string) (sparkxd.JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return sparkxd.JobStatus{}, false
+	}
+	return copyStatus(rec.status), true
+}
+
+// Jobs lists every known job, sorted by ID.
+func (s *Server) Jobs() []sparkxd.JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]sparkxd.JobStatus, 0, len(s.jobs))
+	for _, rec := range s.jobs {
+		out = append(out, copyStatus(rec.status))
+	}
+	sortStatuses(out)
+	return out
+}
+
+// eventsSince returns the job's events from absolute index `from` on
+// (indices count all events ever recorded, including any trimmed off
+// the bounded log), whether the job has reached a terminal state, and a
+// channel closed on the next update. The returned next index is `from`
+// plus the delivered events plus any trimmed gap.
+func (s *Server) eventsSince(id string, from int) (evs []sparkxd.Event, next int, terminal bool, notify <-chan struct{}, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, found := s.jobs[id]
+	if !found {
+		return nil, from, false, nil, false
+	}
+	start := from - rec.dropped
+	if start < 0 {
+		start = 0 // the subscriber's position was trimmed away
+	}
+	if start < len(rec.events) {
+		evs = append(evs, rec.events[start:]...)
+	}
+	return evs, rec.dropped + len(rec.events), rec.status.State.Terminal(), rec.notify, true
+}
+
+// dispatch runs queued jobs in batches on a fresh sched pool per batch
+// (sharing one cache), so concurrent submissions fan out across workers
+// with the scheduler's cost-aware work stealing.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			s.failQueued("server shut down before execution")
+			return
+		case <-s.wake:
+		}
+		for {
+			batch := s.takeQueued()
+			if len(batch) == 0 {
+				break
+			}
+			s.runBatch(batch)
+		}
+	}
+}
+
+// takeQueued claims the current queue.
+func (s *Server) takeQueued() []*jobRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	batch := s.queue
+	s.queue = nil
+	return batch
+}
+
+// failQueued marks every not-yet-started job failed (shutdown path).
+func (s *Server) failQueued(msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range s.queue {
+		rec.status.State = sparkxd.JobFailed
+		rec.status.Error = msg
+		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "failed", Message: msg})
+	}
+	s.queue = nil
+}
+
+// runBatch executes one claimed batch on the work-stealing pool. Job IDs
+// are the sched job names and the neuron count is the cost hint, so big
+// configurations start first and idle workers steal small ones.
+func (s *Server) runBatch(batch []*jobRec) {
+	sch, err := sched.New(sched.Config{Workers: s.workers, Seed: 1, Cache: s.cache})
+	if err != nil {
+		for _, rec := range batch {
+			s.finish(rec, nil, err)
+		}
+		return
+	}
+	for _, rec := range batch {
+		rec := rec
+		err := sch.Add(sched.Job{
+			Name: rec.status.ID,
+			Cost: rec.cost,
+			Run: func(*sched.Ctx) (any, error) {
+				s.execute(rec)
+				return nil, nil
+			},
+		})
+		if err != nil {
+			s.finish(rec, nil, err)
+		}
+	}
+	sch.Run() // job failures are recorded on the recs, not here
+}
+
+// execute runs one job end to end and records its outcome. Panics are
+// contained here (not just in sched) so a crashed job reaches JobFailed
+// instead of sticking in JobRunning.
+func (s *Server) execute(rec *jobRec) {
+	s.setRunning(rec)
+	var (
+		arts map[string]sparkxd.ArtifactKey
+		err  error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		arts, err = s.run(rec)
+	}()
+	s.finish(rec, arts, err)
+}
+
+// run performs the job's work and returns the artifact role map.
+func (s *Server) run(rec *jobRec) (map[string]sparkxd.ArtifactKey, error) {
+	sys, err := s.systemFor(rec.fp, rec.status.Spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	s.markRunningOn(rec)
+	defer s.unmarkRunningOn(rec)
+
+	p := sys.Pipeline()
+	spec := rec.status.Spec
+	arts := make(map[string]sparkxd.ArtifactKey)
+
+	switch spec.Kind {
+	case sparkxd.JobSweep:
+		if _, err := p.Train(s.ctx); err != nil {
+			return nil, err
+		}
+		if _, err := p.ImproveTolerance(s.ctx); err != nil {
+			return nil, err
+		}
+		rep, err := p.Sweep(s.ctx, *spec.Sweep)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.putAll(arts, map[string]any{"improved": p.Improved, "sweep": rep}); err != nil {
+			return nil, err
+		}
+		return arts, nil
+
+	case sparkxd.JobPipeline:
+		target := sparkxd.StageRank(spec.Stage)
+		if target < 0 {
+			return nil, fmt.Errorf("unknown stage %q", spec.Stage)
+		}
+		stages := []struct {
+			name string
+			run  func(context.Context) error
+		}{
+			{"train", func(ctx context.Context) error { _, err := p.Train(ctx); return err }},
+			{"improve", func(ctx context.Context) error { _, err := p.ImproveTolerance(ctx); return err }},
+			{"analyze", func(ctx context.Context) error { _, err := p.AnalyzeTolerance(ctx); return err }},
+			{"map", func(ctx context.Context) error { _, err := p.Map(ctx); return err }},
+			{"evaluate", func(ctx context.Context) error { _, err := p.EvaluateUnderErrors(ctx); return err }},
+			{"energy", func(ctx context.Context) error { _, err := p.EnergyReport(ctx); return err }},
+		}
+		for i, st := range stages {
+			if i > target {
+				break
+			}
+			if err := st.run(s.ctx); err != nil {
+				return nil, fmt.Errorf("stage %s: %w", st.name, err)
+			}
+		}
+		produced := map[string]any{}
+		if p.Baseline != nil {
+			produced["baseline"] = p.Baseline
+		}
+		if p.Improved != nil {
+			produced["improved"] = p.Improved
+		}
+		if p.Tolerance != nil {
+			produced["tolerance"] = p.Tolerance
+		}
+		if p.Placement != nil {
+			produced["placement"] = p.Placement
+		}
+		if p.Evaluation != nil {
+			produced["evaluation"] = p.Evaluation
+		}
+		if p.Energy != nil {
+			produced["energy"] = p.Energy
+		}
+		if err := s.putAll(arts, produced); err != nil {
+			return nil, err
+		}
+		return arts, nil
+
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
+	}
+}
+
+// putAll stores every produced artifact and fills the role map.
+func (s *Server) putAll(arts map[string]sparkxd.ArtifactKey, produced map[string]any) error {
+	for role, v := range produced {
+		key, err := sparkxd.PutArtifact(s.st, v)
+		if err != nil {
+			return fmt.Errorf("store %s: %w", role, err)
+		}
+		arts[role] = key
+	}
+	return nil
+}
+
+// systemFor returns (building once) the shared System of one config
+// fingerprint, its observer wired into the server's event fanout.
+func (s *Server) systemFor(fp string, cfg sparkxd.ConfigSpec) (*sparkxd.System, error) {
+	s.mu.Lock()
+	ent, ok := s.systems[fp]
+	if !ok {
+		ent = &sysEntry{}
+		s.systems[fp] = ent
+	}
+	s.mu.Unlock()
+	ent.once.Do(func() {
+		opts, err := cfg.Options()
+		if err != nil {
+			ent.err = err
+			return
+		}
+		opts = append(opts,
+			sparkxd.WithSweepWorkers(s.workers),
+			sparkxd.WithObserver(func(ev sparkxd.Event) { s.fanout(fp, ev) }),
+		)
+		ent.sys, ent.err = sparkxd.New(opts...)
+	})
+	return ent.sys, ent.err
+}
+
+// fanout delivers an engine event to every job currently executing on
+// that engine (configuration fingerprint).
+func (s *Server) fanout(fp string, ev sparkxd.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for rec := range s.running[fp] {
+		s.appendEventLocked(rec, ev)
+	}
+}
+
+func (s *Server) markRunningOn(rec *jobRec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.running[rec.fp]
+	if set == nil {
+		set = make(map[*jobRec]struct{})
+		s.running[rec.fp] = set
+	}
+	set[rec] = struct{}{}
+}
+
+func (s *Server) unmarkRunningOn(rec *jobRec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running[rec.fp], rec)
+}
+
+// setRunning transitions a job to JobRunning.
+func (s *Server) setRunning(rec *jobRec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.status.State = sparkxd.JobRunning
+	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "running", Message: rec.status.ID})
+	s.logf("job %s running", rec.status.ID)
+}
+
+// finish records a job's terminal state.
+func (s *Server) finish(rec *jobRec, arts map[string]sparkxd.ArtifactKey, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.status.State.Terminal() {
+		return
+	}
+	if err != nil {
+		rec.status.State = sparkxd.JobFailed
+		rec.status.Error = err.Error()
+		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "failed", Message: err.Error()})
+		s.logf("job %s failed: %v", rec.status.ID, err)
+		return
+	}
+	rec.status.State = sparkxd.JobDone
+	rec.status.Artifacts = arts
+	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "done",
+		Message: fmt.Sprintf("%d artifacts", len(arts))})
+	s.logf("job %s done (%d artifacts)", rec.status.ID, len(arts))
+}
+
+// appendEventLocked records an event on a job (trimming the log's
+// front beyond maxJobEvents) and wakes its SSE subscribers. Caller
+// holds s.mu.
+func (s *Server) appendEventLocked(rec *jobRec, ev sparkxd.Event) {
+	rec.events = append(rec.events, ev)
+	if excess := len(rec.events) - maxJobEvents; excess > 0 {
+		rec.events = append(rec.events[:0:0], rec.events[excess:]...)
+		rec.dropped += excess
+	}
+	close(rec.notify)
+	rec.notify = make(chan struct{})
+}
+
+// copyStatus deep-copies the mutable parts of a status.
+func copyStatus(st sparkxd.JobStatus) sparkxd.JobStatus {
+	if st.Artifacts != nil {
+		arts := make(map[string]sparkxd.ArtifactKey, len(st.Artifacts))
+		for k, v := range st.Artifacts {
+			arts[k] = v
+		}
+		st.Artifacts = arts
+	}
+	return st
+}
+
+// sortStatuses orders statuses by ID.
+func sortStatuses(sts []sparkxd.JobStatus) {
+	sort.Slice(sts, func(a, b int) bool { return sts[a].ID < sts[b].ID })
+}

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mem is the in-memory Store backend: the default for tests and for a
+// server run without a -store directory. Safe for concurrent use.
+type Mem struct {
+	mu   sync.RWMutex
+	data map[Key][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{data: make(map[Key][]byte)}
+}
+
+// Put implements Store.
+func (s *Mem) Put(kind string, payload any) (Key, error) {
+	key, b, err := Encode(kind, payload)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[key]; !ok {
+		s.data[key] = b
+	}
+	return key, nil
+}
+
+// Get implements Store.
+func (s *Mem) Get(key Key) (*Envelope, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	b, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return DecodeEnvelope(key, b)
+}
+
+// Stat implements Store.
+func (s *Mem) Stat(key Key) (Info, error) {
+	if err := key.Validate(); err != nil {
+		return Info{}, err
+	}
+	s.mu.RLock()
+	b, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return Info{Key: key, Kind: key.Kind(), Size: int64(len(b))}, nil
+}
+
+// List implements Store.
+func (s *Mem) List(kind string) ([]Info, error) {
+	if kind != "" {
+		if err := ValidateKind(kind); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.RLock()
+	infos := make([]Info, 0, len(s.data))
+	for key, b := range s.data {
+		if kind != "" && key.Kind() != kind {
+			continue
+		}
+		infos = append(infos, Info{Key: key, Kind: key.Kind(), Size: int64(len(b))})
+	}
+	s.mu.RUnlock()
+	sortInfos(infos)
+	return infos, nil
+}

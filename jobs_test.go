@@ -1,0 +1,175 @@
+// Tests of the job-spec identity scheme: normalization fills defaults,
+// equivalent specs hash to the same deterministic ID, and invalid specs
+// are rejected with ErrInvalidJobSpec.
+package sparkxd_test
+
+import (
+	"errors"
+	"testing"
+
+	"sparkxd"
+)
+
+func TestJobSpecIDDeterministic(t *testing.T) {
+	spec := sparkxd.JobSpec{Kind: sparkxd.JobPipeline, Config: sparkxd.ConfigSpec{Neurons: 100}}
+	id1, err := spec.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := spec.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("same spec, different IDs: %s vs %s", id1, id2)
+	}
+	if len(id1) != 32 {
+		t.Errorf("ID %q is not 32 hex chars", id1)
+	}
+}
+
+// Specs that resolve to the same work must share an ID: explicit
+// defaults, omitted defaults, and case variants of enum names all
+// normalize to one canonical form.
+func TestJobSpecIDNormalization(t *testing.T) {
+	base := sparkxd.JobSpec{Kind: sparkxd.JobPipeline, Config: sparkxd.ConfigSpec{Neurons: 400}}
+	variants := []sparkxd.JobSpec{
+		{Kind: sparkxd.JobPipeline, Config: sparkxd.ConfigSpec{}}, // 400 is the default
+		{Kind: sparkxd.JobPipeline, Stage: "energy", // "" means the full pipeline
+			Config: sparkxd.ConfigSpec{Neurons: 400, Dataset: "MNIST"}}, // case-insensitive
+		{Kind: sparkxd.JobPipeline,
+			Config: sparkxd.ConfigSpec{Neurons: 400, ErrorModel: "Uniform", Quantization: "FP32"}},
+	}
+	want, err := base.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range variants {
+		got, err := v.ID()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("variant %d: ID %s != base %s (equivalent specs must dedup)", i, got, want)
+		}
+	}
+
+	// A genuinely different spec must not collide.
+	other := sparkxd.JobSpec{Kind: sparkxd.JobPipeline, Config: sparkxd.ConfigSpec{Neurons: 200}}
+	otherID, err := other.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherID == want {
+		t.Error("different neuron counts produced the same job ID")
+	}
+	stage := sparkxd.JobSpec{Kind: sparkxd.JobPipeline, Stage: "train", Config: sparkxd.ConfigSpec{Neurons: 400}}
+	stageID, err := stage.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stageID == want {
+		t.Error("different stages produced the same job ID")
+	}
+}
+
+// Sweep axes are normalized against the configuration exactly as
+// Pipeline.Sweep resolves them, so an explicit default axis and an
+// omitted one name the same job. Workers never affect identity.
+func TestJobSpecSweepNormalization(t *testing.T) {
+	implicit := sparkxd.JobSpec{Kind: sparkxd.JobSweep,
+		Config: sparkxd.ConfigSpec{Voltage: 1.1, BERSchedule: []float64{1e-5, 1e-4}}}
+	explicit := sparkxd.JobSpec{Kind: sparkxd.JobSweep,
+		Config: sparkxd.ConfigSpec{Voltage: 1.1, BERSchedule: []float64{1e-5, 1e-4}},
+		Sweep: &sparkxd.SweepSpec{
+			Voltages:    []float64{1.1},
+			BERs:        []float64{1e-5, 1e-4},
+			ErrorModels: []sparkxd.ErrorModel{sparkxd.ErrorModelUniform},
+			Policies:    []sparkxd.Policy{"SparkXD"}, // case-normalized
+			Workers:     7,                           // execution detail, not identity
+		}}
+	a, err := implicit.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explicit.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("implicit (%s) and explicit-default (%s) sweep specs must share an ID", a, b)
+	}
+
+	norm, err := explicit.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Sweep.Workers != 0 {
+		t.Errorf("normalized spec kept Workers = %d", norm.Sweep.Workers)
+	}
+	if len(norm.Sweep.Policies) != 1 || norm.Sweep.Policies[0] != sparkxd.PolicySparkXD {
+		t.Errorf("normalized policies = %v", norm.Sweep.Policies)
+	}
+}
+
+func TestJobSpecInvalid(t *testing.T) {
+	bad := []sparkxd.JobSpec{
+		{},                // no kind
+		{Kind: "compile"}, // unknown kind
+		{Kind: sparkxd.JobPipeline, Stage: "deploy"},                                          // unknown stage
+		{Kind: sparkxd.JobPipeline, Sweep: &sparkxd.SweepSpec{}},                              // sweep grid on a pipeline job
+		{Kind: sparkxd.JobSweep, Stage: "train"},                                              // stage on a sweep job
+		{Kind: sparkxd.JobSweep, Config: sparkxd.ConfigSpec{Dataset: "imagenet"}},             // bad dataset
+		{Kind: sparkxd.JobPipeline, Config: sparkxd.ConfigSpec{ErrorModel: "gauss"}},          // bad model
+		{Kind: sparkxd.JobSweep, Sweep: &sparkxd.SweepSpec{Policies: []sparkxd.Policy{"rr"}}}, // bad policy
+	}
+	for i, spec := range bad {
+		if _, err := spec.Normalized(); !errors.Is(err, sparkxd.ErrInvalidJobSpec) {
+			t.Errorf("spec %d: want ErrInvalidJobSpec, got %v", i, err)
+		}
+		if _, err := spec.ID(); err == nil {
+			t.Errorf("spec %d: ID() must fail for an invalid spec", i)
+		}
+	}
+}
+
+// Equal configurations share a fingerprint (and thus a warm System on
+// the server); different ones do not.
+func TestConfigFingerprint(t *testing.T) {
+	a, err := sparkxd.ConfigSpec{Neurons: 400, Dataset: "MNIST"}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sparkxd.ConfigSpec{Dataset: "mnist"}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("equivalent configs fingerprint differently: %s vs %s", a, b)
+	}
+	c, err := sparkxd.ConfigSpec{Neurons: 200}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different configs share a fingerprint")
+	}
+}
+
+// A pipeline job and a sweep job over the same configuration share the
+// engine fingerprint but never the job ID.
+func TestJobKindsDistinct(t *testing.T) {
+	p := sparkxd.JobSpec{Kind: sparkxd.JobPipeline}
+	s := sparkxd.JobSpec{Kind: sparkxd.JobSweep}
+	pid, err := p.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := s.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid == sid {
+		t.Error("pipeline and sweep jobs share an ID")
+	}
+}

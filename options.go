@@ -1,8 +1,10 @@
 package sparkxd
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"sparkxd/internal/dataset"
 	"sparkxd/internal/errmodel"
@@ -50,16 +52,25 @@ func datasetName(fl dataset.Flavor) string {
 	return MNIST.String()
 }
 
+// DatasetNames enumerates the dataset names ParseDataset accepts.
+func DatasetNames() []string { return []string{"mnist", "fashion"} }
+
 // ParseDataset maps a CLI-style name ("mnist", "fashion") to a Dataset.
+// Matching is case-insensitive ("MNIST" and "Fashion" parse too).
 func ParseDataset(name string) (Dataset, error) {
-	switch name {
+	switch canonName(name) {
 	case "mnist":
 		return MNIST, nil
 	case "fashion":
 		return Fashion, nil
 	default:
-		return 0, fmt.Errorf("sparkxd: unknown dataset %q (mnist|fashion)", name)
+		return 0, fmt.Errorf("sparkxd: unknown dataset %q (valid: %s)", name, strings.Join(DatasetNames(), ", "))
 	}
+}
+
+// canonName lowercases and trims a user-supplied enum name.
+func canonName(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
 }
 
 // ErrorModel selects the EDEN-style approximate-DRAM error model.
@@ -95,10 +106,17 @@ func (m ErrorModel) String() string {
 	}
 }
 
+// ErrorModelNames enumerates the error-model names ParseErrorModel
+// accepts (the "data" shorthand for "data-dependent" excluded).
+func ErrorModelNames() []string {
+	return []string{"uniform", "bitline", "wordline", "data-dependent"}
+}
+
 // ParseErrorModel maps a CLI-style name ("uniform", "bitline",
-// "wordline", "data-dependent") to an ErrorModel.
+// "wordline", "data-dependent") to an ErrorModel. Matching is
+// case-insensitive.
 func ParseErrorModel(name string) (ErrorModel, error) {
-	switch name {
+	switch canonName(name) {
 	case "uniform":
 		return ErrorModelUniform, nil
 	case "bitline":
@@ -108,8 +126,31 @@ func ParseErrorModel(name string) (ErrorModel, error) {
 	case "data-dependent", "data":
 		return ErrorModelDataDependent, nil
 	default:
-		return 0, fmt.Errorf("sparkxd: unknown error model %q (uniform|bitline|wordline|data-dependent)", name)
+		return 0, fmt.Errorf("sparkxd: unknown error model %q (valid: %s)", name, strings.Join(ErrorModelNames(), ", "))
 	}
+}
+
+// MarshalJSON encodes the error model by name, so job specs and other
+// JSON surfaces read "uniform" instead of an opaque integer.
+func (m ErrorModel) MarshalJSON() ([]byte, error) {
+	if _, err := m.kind(); err != nil {
+		return nil, fmt.Errorf("sparkxd: %w", err)
+	}
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON decodes an error model from its name (case-insensitive).
+func (m *ErrorModel) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return fmt.Errorf("sparkxd: error model: %w", err)
+	}
+	parsed, err := ParseErrorModel(name)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 func (m ErrorModel) kind() (errmodel.Kind, error) {
@@ -127,6 +168,24 @@ func (m ErrorModel) kind() (errmodel.Kind, error) {
 	}
 }
 
+// PolicyNames enumerates the mapping-policy names ParsePolicy accepts.
+func PolicyNames() []string {
+	return []string{string(PolicyBaseline), string(PolicySparkXD)}
+}
+
+// ParsePolicy maps a CLI-style name ("baseline", "sparkxd") to a mapping
+// Policy. Matching is case-insensitive.
+func ParsePolicy(name string) (Policy, error) {
+	switch canonName(name) {
+	case string(PolicyBaseline):
+		return PolicyBaseline, nil
+	case string(PolicySparkXD):
+		return PolicySparkXD, nil
+	default:
+		return "", fmt.Errorf("sparkxd: unknown policy %q (valid: %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+}
+
 // Quantization selects the stored weight representation.
 type Quantization int
 
@@ -138,6 +197,38 @@ const (
 	// Q88 is signed 8.8 fixed point.
 	Q88
 )
+
+// String names the quantization ("fp32", "fp16", "q8.8").
+func (q Quantization) String() string {
+	switch q {
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case Q88:
+		return "q8.8"
+	default:
+		return fmt.Sprintf("Quantization(%d)", int(q))
+	}
+}
+
+// QuantizationNames enumerates the names ParseQuantization accepts.
+func QuantizationNames() []string { return []string{"fp32", "fp16", "q8.8"} }
+
+// ParseQuantization maps a CLI-style name ("fp32", "fp16", "q8.8") to a
+// Quantization. Matching is case-insensitive.
+func ParseQuantization(name string) (Quantization, error) {
+	switch canonName(name) {
+	case "fp32":
+		return FP32, nil
+	case "fp16":
+		return FP16, nil
+	case "q8.8", "q88":
+		return Q88, nil
+	default:
+		return 0, fmt.Errorf("sparkxd: unknown quantization %q (valid: %s)", name, strings.Join(QuantizationNames(), ", "))
+	}
+}
 
 func (q Quantization) format() (quant.Format, error) {
 	switch q {

@@ -1,0 +1,158 @@
+// Tests of the CLI-style name parsers: case-insensitive matching and
+// error messages that enumerate the valid names.
+package sparkxd_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sparkxd"
+)
+
+func TestParseDatasetCaseInsensitive(t *testing.T) {
+	cases := []struct {
+		in   string
+		want sparkxd.Dataset
+	}{
+		{"mnist", sparkxd.MNIST},
+		{"MNIST", sparkxd.MNIST},
+		{"MnIsT", sparkxd.MNIST},
+		{" mnist ", sparkxd.MNIST},
+		{"fashion", sparkxd.Fashion},
+		{"Fashion", sparkxd.Fashion},
+		{"FASHION", sparkxd.Fashion},
+	}
+	for _, tc := range cases {
+		got, err := sparkxd.ParseDataset(tc.in)
+		if err != nil {
+			t.Errorf("ParseDataset(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseDataset(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseDatasetBadInputEnumeratesNames(t *testing.T) {
+	_, err := sparkxd.ParseDataset("imagenet")
+	if err == nil {
+		t.Fatal("ParseDataset(imagenet) must fail")
+	}
+	for _, name := range sparkxd.DatasetNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name valid dataset %q", err, name)
+		}
+	}
+	if !strings.Contains(err.Error(), `"imagenet"`) {
+		t.Errorf("error %q does not echo the bad input", err)
+	}
+}
+
+func TestParseErrorModelCaseInsensitive(t *testing.T) {
+	cases := []struct {
+		in   string
+		want sparkxd.ErrorModel
+	}{
+		{"uniform", sparkxd.ErrorModelUniform},
+		{"Uniform", sparkxd.ErrorModelUniform},
+		{"BITLINE", sparkxd.ErrorModelBitline},
+		{"Wordline", sparkxd.ErrorModelWordline},
+		{"Data-Dependent", sparkxd.ErrorModelDataDependent},
+		{"data", sparkxd.ErrorModelDataDependent},
+	}
+	for _, tc := range cases {
+		got, err := sparkxd.ParseErrorModel(tc.in)
+		if err != nil {
+			t.Errorf("ParseErrorModel(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseErrorModel(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrorModelBadInputEnumeratesNames(t *testing.T) {
+	_, err := sparkxd.ParseErrorModel("gaussian")
+	if err == nil {
+		t.Fatal("ParseErrorModel(gaussian) must fail")
+	}
+	for _, name := range sparkxd.ErrorModelNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name valid model %q", err, name)
+		}
+	}
+}
+
+func TestParsePolicyCaseInsensitive(t *testing.T) {
+	for in, want := range map[string]sparkxd.Policy{
+		"baseline": sparkxd.PolicyBaseline,
+		"Baseline": sparkxd.PolicyBaseline,
+		"SPARKXD":  sparkxd.PolicySparkXD,
+		"SparkXD":  sparkxd.PolicySparkXD,
+		"sparkxd":  sparkxd.PolicySparkXD,
+	} {
+		got, err := sparkxd.ParsePolicy(in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", in, got, want)
+		}
+	}
+	_, err := sparkxd.ParsePolicy("round-robin")
+	if err == nil {
+		t.Fatal("ParsePolicy(round-robin) must fail")
+	}
+	for _, name := range sparkxd.PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name valid policy %q", err, name)
+		}
+	}
+}
+
+func TestParseQuantization(t *testing.T) {
+	for in, want := range map[string]sparkxd.Quantization{
+		"fp32": sparkxd.FP32,
+		"FP16": sparkxd.FP16,
+		"q8.8": sparkxd.Q88,
+		"Q88":  sparkxd.Q88,
+	} {
+		got, err := sparkxd.ParseQuantization(in)
+		if err != nil {
+			t.Errorf("ParseQuantization(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseQuantization(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := sparkxd.ParseQuantization("int4"); err == nil {
+		t.Error("ParseQuantization(int4) must fail")
+	}
+}
+
+// ErrorModel must marshal by name on JSON surfaces (job specs) and parse
+// back case-insensitively.
+func TestErrorModelJSONRoundTrip(t *testing.T) {
+	b, err := json.Marshal(sparkxd.ErrorModelDataDependent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"data-dependent"` {
+		t.Errorf("marshal = %s, want \"data-dependent\"", b)
+	}
+	var m sparkxd.ErrorModel
+	if err := json.Unmarshal([]byte(`"Bitline"`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m != sparkxd.ErrorModelBitline {
+		t.Errorf("unmarshal = %v, want bitline", m)
+	}
+	if err := json.Unmarshal([]byte(`"nope"`), &m); err == nil {
+		t.Error("unmarshal of unknown model must fail")
+	}
+}
