@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt-check shard-smoke sweep-smoke serve-smoke examples-smoke lint vuln ci
+.PHONY: build test race bench vet fmt-check shard-smoke sweep-smoke serve-smoke fleet-smoke examples-smoke lint vuln ci
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,13 @@ sweep-smoke: build
 serve-smoke: build
 	./scripts/serve-smoke.sh
 
+# Distributed-fleet smoke: coordinator + two workers, one killed -9
+# mid-job (lease expiry requeues it), result `cmp`-identical to the
+# in-process sweep; then a coordinator restart on the same store serves
+# the resubmission from the persisted job record without re-executing.
+fleet-smoke: build
+	./scripts/fleet-smoke.sh
+
 # Run every example and both CLIs end to end on tiny budgets, including
 # the persist-then-resume artifact round-trip of `sparkxd single`.
 examples-smoke: build
@@ -69,4 +76,4 @@ lint:
 vuln:
 	govulncheck ./...
 
-ci: build vet fmt-check race bench examples-smoke sweep-smoke serve-smoke
+ci: build vet fmt-check race bench examples-smoke sweep-smoke serve-smoke fleet-smoke

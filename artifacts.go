@@ -232,6 +232,7 @@ const (
 	KindEvaluation      = "evaluation"
 	KindEnergyReport    = "energy-report"
 	KindSweepReport     = "sweep-report"
+	KindJobRecord       = "job-record"
 )
 
 // The artifact store surface, re-exported from internal/store. An
@@ -274,6 +275,8 @@ func ArtifactKind(artifact any) (string, error) {
 		return KindEnergyReport, nil
 	case *SweepReport:
 		return KindSweepReport, nil
+	case *JobRecord:
+		return KindJobRecord, nil
 	default:
 		return "", fmt.Errorf("sparkxd: %T is not a storable artifact", artifact)
 	}
@@ -322,6 +325,11 @@ func GetEnergyReport(st ArtifactStore, key ArtifactKey) (*EnergyReport, error) {
 // GetSweepReport fetches a SweepReport from the store by key.
 func GetSweepReport(st ArtifactStore, key ArtifactKey) (*SweepReport, error) {
 	return getArtifact[SweepReport](st, key, KindSweepReport)
+}
+
+// GetJobRecord fetches a JobRecord from the store by key.
+func GetJobRecord(st ArtifactStore, key ArtifactKey) (*JobRecord, error) {
+	return getArtifact[JobRecord](st, key, KindJobRecord)
 }
 
 // getArtifact fetches and decodes one artifact, translating store

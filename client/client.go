@@ -27,7 +27,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,9 +61,83 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
-// WithPollInterval sets how often Wait polls the job status.
+// WithPollInterval sets Wait's initial poll interval (backoff grows
+// from here; see Wait).
 func WithPollInterval(d time.Duration) Option {
 	return func(c *Client) { c.poll = d }
+}
+
+// waitPlan is Wait's backoff schedule: polls start at initial and grow
+// by factor up to max, each sleep jittered by ±jitter so a fleet of
+// waiting clients never phase-locks onto the server.
+type waitPlan struct {
+	initial time.Duration
+	max     time.Duration
+	factor  float64
+	jitter  float64
+}
+
+// next returns the delay after one that slept d.
+func (p waitPlan) next(d time.Duration) time.Duration {
+	d = time.Duration(float64(d) * p.factor)
+	if d > p.max {
+		d = p.max
+	}
+	if d < p.initial {
+		d = p.initial
+	}
+	return d
+}
+
+// jittered spreads one delay across [d·(1-jitter), d·(1+jitter)].
+func (p waitPlan) jittered(d time.Duration) time.Duration {
+	if p.jitter <= 0 {
+		return d
+	}
+	spread := 1 + p.jitter*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * spread)
+}
+
+// WaitOption tunes one Wait call's poll schedule.
+type WaitOption func(*waitPlan)
+
+// WaitPollInterval sets the first poll interval (default: the client's
+// WithPollInterval, 100ms out of the box).
+func WaitPollInterval(d time.Duration) WaitOption {
+	return func(p *waitPlan) {
+		if d > 0 {
+			p.initial = d
+		}
+	}
+}
+
+// WaitMaxInterval caps the backed-off poll interval (default 2s).
+func WaitMaxInterval(d time.Duration) WaitOption {
+	return func(p *waitPlan) {
+		if d > 0 {
+			p.max = d
+		}
+	}
+}
+
+// WaitBackoff sets the multiplicative growth factor between polls
+// (default 1.6; 1 disables backoff).
+func WaitBackoff(factor float64) WaitOption {
+	return func(p *waitPlan) {
+		if factor >= 1 {
+			p.factor = factor
+		}
+	}
+}
+
+// WaitJitter sets the ± fraction each sleep is randomized by (default
+// 0.2; 0 disables jitter).
+func WaitJitter(frac float64) WaitOption {
+	return func(p *waitPlan) {
+		if frac >= 0 && frac < 1 {
+			p.jitter = frac
+		}
+	}
 }
 
 // New builds a client for the server at baseURL (e.g.
@@ -116,9 +192,28 @@ func (c *Client) Jobs(ctx context.Context) ([]sparkxd.JobStatus, error) {
 // Wait polls until the job reaches a terminal state. A JobDone status is
 // returned with a nil error; a JobFailed status is returned together
 // with an error satisfying errors.Is(err, ErrJobFailed).
-func (c *Client) Wait(ctx context.Context, id string) (*sparkxd.JobStatus, error) {
-	tick := time.NewTicker(c.poll)
-	defer tick.Stop()
+//
+// Polling backs off exponentially with jitter (100ms → 2s by default),
+// so a fleet of clients waiting on slow jobs doesn't hammer
+// GET /v1/jobs/{id}; tune with WaitPollInterval, WaitMaxInterval,
+// WaitBackoff, and WaitJitter.
+func (c *Client) Wait(ctx context.Context, id string, opts ...WaitOption) (*sparkxd.JobStatus, error) {
+	plan := waitPlan{initial: c.poll, max: 2 * time.Second, factor: 1.6, jitter: 0.2}
+	if plan.initial <= 0 {
+		plan.initial = 100 * time.Millisecond
+	}
+	for _, opt := range opts {
+		opt(&plan)
+	}
+	if plan.max < plan.initial {
+		plan.max = plan.initial
+	}
+	delay := plan.initial
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		status, err := c.Job(ctx, id)
 		if err != nil {
@@ -130,50 +225,125 @@ func (c *Client) Wait(ctx context.Context, id string) (*sparkxd.JobStatus, error
 			}
 			return status, nil
 		}
+		timer.Reset(plan.jittered(delay))
 		select {
 		case <-ctx.Done():
+			if !timer.Stop() {
+				<-timer.C
+			}
 			return status, ctx.Err()
-		case <-tick.C:
+		case <-timer.C:
 		}
+		delay = plan.next(delay)
 	}
 }
 
 // Events consumes the job's server-sent event stream, invoking fn for
 // every event until the stream ends (the job reached a terminal state),
 // fn returns an error, or the context is cancelled.
+//
+// The server tags every event with its absolute index (`id:`); if the
+// connection drops mid-stream, Events reconnects once per made progress
+// with a Last-Event-ID header, so consumers neither lose nor duplicate
+// stage events across the reconnect (e.g. while a job is handed from a
+// dead worker to its replacement).
 func (c *Client) Events(ctx context.Context, id string, fn func(sparkxd.Event) error) error {
+	lastID := -1
+	retried := false
+	for {
+		progressed, err := c.streamEvents(ctx, id, &lastID, fn)
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+		var netErr *streamDropped
+		if !errors.As(err, &netErr) {
+			return err // HTTP error, decode error, or fn's own error
+		}
+		// Reconnect once; fresh progress re-arms the retry so a long
+		// stream survives multiple independent drops, while a dead
+		// server fails after one attempt.
+		if progressed {
+			retried = false
+		}
+		if retried {
+			return fmt.Errorf("client: event stream: %w", netErr.err)
+		}
+		retried = true
+	}
+}
+
+// streamDropped wraps a mid-stream network failure (retryable).
+type streamDropped struct{ err error }
+
+func (e *streamDropped) Error() string { return e.err.Error() }
+func (e *streamDropped) Unwrap() error { return e.err }
+
+// streamEvents runs one SSE connection, resuming after *lastID and
+// advancing it as events are delivered. It reports whether any event
+// was delivered on this connection.
+func (c *Client) streamEvents(ctx context.Context, id string, lastID *int, fn func(sparkxd.Event) error) (progressed bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return false, fmt.Errorf("client: %w", err)
+	}
+	if *lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastID))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return false, &streamDropped{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return c.errorFrom(resp)
+		return false, c.errorFrom(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	pendingID := -1
+	sawTerminal := false
 	for sc.Scan() {
 		line := sc.Text()
+		if idField, ok := strings.CutPrefix(line, "id: "); ok {
+			if n, err := strconv.Atoi(idField); err == nil {
+				pendingID = n
+			}
+			continue
+		}
 		data, ok := strings.CutPrefix(line, "data: ")
 		if !ok {
 			continue // blank separators, comments, other SSE fields
 		}
 		var ev sparkxd.Event
 		if err := json.Unmarshal([]byte(data), &ev); err != nil {
-			return fmt.Errorf("client: decode event: %w", err)
+			return progressed, fmt.Errorf("client: decode event: %w", err)
+		}
+		if pendingID >= 0 {
+			*lastID = pendingID
+			pendingID = -1
+		} else {
+			*lastID++
+		}
+		progressed = true
+		if ev.Stage == "job" && (ev.Phase == "done" || ev.Phase == "failed") {
+			sawTerminal = true
 		}
 		if err := fn(ev); err != nil {
-			return err
+			return progressed, err
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
-		return fmt.Errorf("client: event stream: %w", err)
+		return progressed, &streamDropped{err}
 	}
-	return ctx.Err()
+	if ctx.Err() != nil {
+		return progressed, ctx.Err()
+	}
+	if !sawTerminal {
+		// The server only ends a stream cleanly once the job is terminal;
+		// a clean EOF without the terminal lifecycle event means the
+		// server went away (e.g. shutdown) — retryable, never "done".
+		return progressed, &streamDropped{errors.New("stream ended before the job reached a terminal state")}
+	}
+	return progressed, nil
 }
 
 // Artifact fetches the raw envelope of one artifact key and verifies its

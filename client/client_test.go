@@ -8,7 +8,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"sparkxd"
@@ -173,6 +177,102 @@ func TestEvents(t *testing.T) {
 	}
 	if len(phases) == 0 || phases[0] != "queued" || phases[len(phases)-1] != "done" {
 		t.Errorf("job lifecycle phases = %v, want queued..done", phases)
+	}
+}
+
+// Events survives a dropped connection: the client reconnects once
+// with Last-Event-ID and the consumer sees every event exactly once,
+// in order — no loss, no duplicates.
+func TestEventsResumeAfterDrop(t *testing.T) {
+	all := []sparkxd.Event{
+		{Stage: "job", Phase: "queued"},
+		{Stage: "train", Phase: "start"},
+		{Stage: "train", Phase: "progress", Epoch: 1, Epochs: 2},
+		{Stage: "train", Phase: "done"},
+		{Stage: "job", Phase: "done"},
+	}
+	var requests atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		start := 0
+		if h := r.Header.Get("Last-Event-ID"); h != "" {
+			n, err := strconv.Atoi(h)
+			if err != nil {
+				t.Errorf("bad Last-Event-ID %q", h)
+			}
+			start = n + 1
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		for i := start; i < len(all); i++ {
+			b, _ := json.Marshal(all[i])
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", i, b)
+			w.(http.Flusher).Flush()
+			// First connection dies mid-stream after two events.
+			if requests.Load() == 1 && i == 1 {
+				panic(http.ErrAbortHandler)
+			}
+		}
+	}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []sparkxd.Event
+	if err := c.Events(context.Background(), "whatever", func(ev sparkxd.Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if requests.Load() != 2 {
+		t.Errorf("reconnects = %d requests, want 2", requests.Load())
+	}
+	if len(got) != len(all) {
+		t.Fatalf("got %d events, want %d (loss or duplication across reconnect): %+v", len(got), len(all), got)
+	}
+	for i := range all {
+		if got[i] != all[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], all[i])
+		}
+	}
+}
+
+// A stream that ends cleanly WITHOUT the job's terminal lifecycle
+// event (e.g. the server shut down while the job was queued) must not
+// read as completion: the client retries, and if the job genuinely
+// never terminates, Events surfaces an error instead of returning nil.
+func TestEventsCleanEOFBeforeTerminalIsNotDone(t *testing.T) {
+	queued := sparkxd.Event{Stage: "job", Phase: "queued"}
+	var requests atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		if r.Header.Get("Last-Event-ID") == "" {
+			b, _ := json.Marshal(queued)
+			fmt.Fprintf(w, "id: 0\ndata: %s\n\n", b)
+		}
+		// ...and end the stream with the job still non-terminal.
+	}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	err = c.Events(context.Background(), "job", func(sparkxd.Event) error { got++; return nil })
+	if err == nil {
+		t.Fatal("Events returned nil for a stream that never reached a terminal state")
+	}
+	if got != 1 {
+		t.Errorf("delivered %d events, want 1 (no duplicates across the retry)", got)
+	}
+	if requests.Load() != 2 {
+		t.Errorf("requests = %d, want 2 (one retry)", requests.Load())
 	}
 }
 

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// The backoff schedule grows geometrically from the initial interval
+// and saturates at the cap.
+func TestWaitPlanBackoff(t *testing.T) {
+	p := waitPlan{initial: 100 * time.Millisecond, max: 2 * time.Second, factor: 1.6, jitter: 0}
+	var got []time.Duration
+	d := p.initial
+	for i := 0; i < 10; i++ {
+		got = append(got, d)
+		d = p.next(d)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Errorf("delay shrank: %v", got)
+		}
+		if got[i] > p.max {
+			t.Errorf("delay %v exceeds cap %v", got[i], p.max)
+		}
+	}
+	if got[0] != p.initial {
+		t.Errorf("first delay %v, want %v", got[0], p.initial)
+	}
+	if got[len(got)-1] != p.max {
+		t.Errorf("schedule never saturated: %v", got)
+	}
+	// factor 1 disables growth.
+	flat := waitPlan{initial: 50 * time.Millisecond, max: time.Second, factor: 1}
+	if d := flat.next(flat.initial); d != flat.initial {
+		t.Errorf("factor 1 grew the delay to %v", d)
+	}
+}
+
+// Jitter keeps every sleep inside ±frac of the nominal delay.
+func TestWaitPlanJitterBounds(t *testing.T) {
+	p := waitPlan{initial: 100 * time.Millisecond, max: 2 * time.Second, factor: 1.6, jitter: 0.2}
+	base := 500 * time.Millisecond
+	lo := time.Duration(float64(base) * 0.8)
+	hi := time.Duration(float64(base) * 1.2)
+	varied := false
+	for i := 0; i < 200; i++ {
+		d := p.jittered(base)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		if d != base {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter produced no variation over 200 samples")
+	}
+	// Zero jitter is exact.
+	p.jitter = 0
+	if d := p.jittered(base); d != base {
+		t.Errorf("zero jitter changed the delay: %v", d)
+	}
+}
+
+// WaitOptions clamp invalid values instead of adopting them.
+func TestWaitOptionsValidation(t *testing.T) {
+	p := waitPlan{initial: 100 * time.Millisecond, max: 2 * time.Second, factor: 1.6, jitter: 0.2}
+	for _, opt := range []WaitOption{
+		WaitPollInterval(-time.Second),
+		WaitMaxInterval(0),
+		WaitBackoff(0.5),
+		WaitJitter(-1),
+		WaitJitter(1.5),
+	} {
+		opt(&p)
+	}
+	if p.initial != 100*time.Millisecond || p.max != 2*time.Second || p.factor != 1.6 || p.jitter != 0.2 {
+		t.Errorf("invalid options mutated the plan: %+v", p)
+	}
+	WaitPollInterval(time.Second)(&p)
+	WaitMaxInterval(5 * time.Second)(&p)
+	WaitBackoff(2)(&p)
+	WaitJitter(0)(&p)
+	if p.initial != time.Second || p.max != 5*time.Second || p.factor != 2 || p.jitter != 0 {
+		t.Errorf("valid options not applied: %+v", p)
+	}
+}

@@ -145,10 +145,11 @@ func runJobStatus(ctx context.Context, args []string, stdout, stderr io.Writer) 
 func runJobWait(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sparkxd job wait", flag.ContinueOnError)
 	var (
-		addr = fs.String("addr", "http://127.0.0.1:8080", "job service base URL")
-		id   = fs.String("id", "", "job ID")
-		role = fs.String("artifact", "", `on success, print this artifact's payload instead of the status (e.g. "sweep")`)
-		poll = fs.Duration("poll", 100*time.Millisecond, "status poll interval")
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "job service base URL")
+		id      = fs.String("id", "", "job ID")
+		role    = fs.String("artifact", "", `on success, print this artifact's payload instead of the status (e.g. "sweep")`)
+		poll    = fs.Duration("poll", 100*time.Millisecond, "initial status poll interval (backs off exponentially)")
+		maxPoll = fs.Duration("max-poll", 2*time.Second, "poll interval backoff cap")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
 		return code
@@ -162,7 +163,7 @@ func runJobWait(ctx context.Context, args []string, stdout, stderr io.Writer) in
 		fmt.Fprintf(stderr, "sparkxd job wait: %v\n", err)
 		return 2
 	}
-	status, err := c.Wait(ctx, *id)
+	status, err := c.Wait(ctx, *id, client.WaitMaxInterval(*maxPoll))
 	if err != nil {
 		fmt.Fprintf(stderr, "sparkxd job wait: %v\n", err)
 		return 1

@@ -21,12 +21,17 @@
 // split) and timing records go to stderr.
 //
 //	sparkxd serve -addr 127.0.0.1:8080 -store ./artifacts
+//	sparkxd serve -dispatch fleet -store ./artifacts   # coordinator only
+//	sparkxd worker -join http://127.0.0.1:8080 -workers 4
 //	sparkxd job submit -addr http://127.0.0.1:8080 -spec job.json
 //
 // The serve subcommand exposes the pipeline and sweep engine as an HTTP
-// job service over a content-addressed artifact store, and job is its
-// command-line client (see DESIGN.md §8 and the sparkxd/client
-// package).
+// job service over a content-addressed artifact store; with -dispatch
+// fleet or hybrid it coordinates `sparkxd worker` processes over a
+// lease protocol (at-most-one lease per job, TTL heartbeats, requeue on
+// expiry) and serves completed jobs from durable store records across
+// restarts. job is the service's command-line client (see DESIGN.md
+// §8/§9 and the sparkxd/client package).
 package main
 
 import (
@@ -61,6 +66,9 @@ Commands:
   sweep     evaluate one model over a (voltage x BER x error model x
             policy) scenario grid on the batched sweep engine
   serve     run the HTTP job service over a content-addressed store
+            (-dispatch fleet|hybrid coordinates remote workers)
+  worker    join a coordinator as a fleet worker: lease, execute,
+            upload, complete
   job       talk to a running job service (submit, status, wait,
             events, fetch)
   help      show this message
@@ -93,6 +101,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runSweep(ctx, args[1:], stdout, stderr)
 	case "serve":
 		return runServe(ctx, args[1:], stdout, stderr)
+	case "worker":
+		return runWorker(ctx, args[1:], stdout, stderr)
 	case "job":
 		return runJob(ctx, args[1:], stdout, stderr)
 	case "help", "-h", "--help":

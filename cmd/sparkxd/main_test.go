@@ -33,6 +33,10 @@ func TestDispatcher(t *testing.T) {
 		{"sweep bad policy", []string{"sweep", "-policies", "rr"}, 2, "valid: baseline, sparkxd", ""},
 		{"serve -h", []string{"serve", "-h"}, 0, "-addr", ""},
 		{"serve bad flag", []string{"serve", "-no-such-flag"}, 2, "flag provided but not defined", ""},
+		{"serve bad dispatch", []string{"serve", "-dispatch", "quantum"}, 2, "unknown dispatch mode", ""},
+		{"worker -h", []string{"worker", "-h"}, 0, "-join", ""},
+		{"worker bad flag", []string{"worker", "-no-such-flag"}, 2, "flag provided but not defined", ""},
+		{"worker empty join", []string{"worker", "-join", ""}, 2, "empty coordinator URL", ""},
 		{"job no subcommand", []string{"job"}, 2, "Usage:", ""},
 		{"job unknown subcommand", []string{"job", "bogus"}, 2, `unknown command "bogus"`, ""},
 		{"job help", []string{"job", "help"}, 0, "", "Usage:"},

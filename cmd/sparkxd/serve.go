@@ -16,25 +16,37 @@ import (
 // runServe starts the HTTP job service: submit pipeline-stage and sweep
 // jobs over POST /v1/jobs, poll GET /v1/jobs/{id}, stream progress from
 // GET /v1/jobs/{id}/events, and fetch content-addressed artifacts from
-// GET /v1/artifacts/{key}. The listening address is printed on stdout
-// ("listening on http://HOST:PORT"), so scripts can bind -addr to port 0
-// and discover the port.
+// GET /v1/artifacts/{key}. With -dispatch fleet or hybrid the server
+// also coordinates `sparkxd worker` processes over the lease protocol
+// (POST /v1/leases, heartbeats, uploads). The listening address is
+// printed on stdout ("listening on http://HOST:PORT"), so scripts can
+// bind -addr to port 0 and discover the port.
+//
+// SIGINT/SIGTERM triggers a graceful drain: no new leases or local
+// batches are started, in-flight jobs get -drain-timeout to finish (the
+// HTTP API stays up so workers can still upload and complete), and
+// whatever is left is requeued instead of stranded in "running".
 func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sparkxd serve", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 		storeDir = fs.String("store", "", "artifact store directory (empty = in-memory, lost on exit)")
-		workers  = fs.Int("workers", 0, "job execution pool size (0 = GOMAXPROCS)")
+		workers  = fs.Int("workers", 0, "local job execution pool size (0 = GOMAXPROCS)")
+		dispatch = fs.String("dispatch", "local", "who executes jobs: local, fleet (remote workers only), or hybrid")
+		leaseTTL = fs.Duration("lease-ttl", server.DefaultLeaseTTL, "worker lease TTL (silent workers expire and their jobs requeue)")
+		drain    = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled server waits for in-flight jobs before requeueing them")
 		quiet    = fs.Bool("quiet", false, "suppress job lifecycle logs on stderr")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
 		return code
 	}
+	mode, err := server.ParseDispatch(*dispatch)
+	if err != nil {
+		fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
+		return 2
+	}
 
-	var (
-		st  sparkxd.ArtifactStore
-		err error
-	)
+	var st sparkxd.ArtifactStore
 	if *storeDir != "" {
 		if st, err = sparkxd.OpenStore(*storeDir); err != nil {
 			fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
@@ -49,7 +61,13 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *quiet {
 		logf = nil
 	}
-	srv, err := server.New(server.Config{Store: st, Workers: *workers, Logf: logf})
+	srv, err := server.New(server.Config{
+		Store:    st,
+		Workers:  *workers,
+		Dispatch: mode,
+		LeaseTTL: *leaseTTL,
+		Logf:     logf,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
 		return 1
@@ -62,12 +80,18 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		return 1
 	}
 	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+	if mode != server.DispatchLocal {
+		fmt.Fprintf(stdout, "dispatch %s: join workers with `sparkxd worker -join http://%s`\n", mode, ln.Addr())
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		<-ctx.Done()
+		// Drain while the HTTP API is still up: workers need the lease
+		// and upload endpoints to finish their in-flight jobs.
+		srv.Drain(*drain)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(shutCtx)

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"sparkxd/internal/worker"
+)
+
+// runWorker joins a coordinator (`sparkxd serve -dispatch fleet` or
+// `hybrid`) as a fleet worker: lease queued jobs, execute them on the
+// local pool, stream events back, upload result envelopes, and
+// complete. SIGINT/SIGTERM drains: in-flight jobs get -drain-timeout to
+// finish; whatever is still running has its lease released so the
+// coordinator requeues it immediately.
+func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sparkxd worker", flag.ContinueOnError)
+	var (
+		join    = fs.String("join", "http://127.0.0.1:8080", "coordinator base URL to join")
+		workers = fs.Int("workers", 0, "concurrent job slots (0 = GOMAXPROCS; also sizes the sweep pool)")
+		name    = fs.String("name", "", "worker name (default <hostname>-<pid>)")
+		poll    = fs.Duration("poll", 500*time.Millisecond, "idle lease poll interval")
+		drain   = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled worker keeps finishing in-flight jobs")
+		quiet   = fs.Bool("quiet", false, "suppress lease lifecycle logs on stderr")
+	)
+	if code, done := parseFlags(fs, args, stderr); done {
+		return code
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "worker: "+format+"\n", a...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	w, err := worker.New(worker.Config{
+		Coordinator:  *join,
+		Name:         *name,
+		Slots:        *workers,
+		Poll:         *poll,
+		DrainTimeout: *drain,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "sparkxd worker: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "worker %s joining %s\n", w.Name(), *join)
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintf(stderr, "sparkxd worker: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+// Package fleetapi defines the wire types of the coordinator ↔ worker
+// lease protocol (DESIGN.md §9). Both sides — the lease endpoints in
+// internal/server and the lease client in internal/worker — marshal
+// exactly these structs, so the protocol has one source of truth.
+//
+// The protocol is four verbs over plain HTTP/JSON:
+//
+//	POST   /v1/workers              register (idempotent presence ping)
+//	POST   /v1/leases               lease up to `capacity` queued jobs
+//	POST   /v1/leases/{id}/renew    heartbeat: extend the lease TTL
+//	POST   /v1/leases/{id}/events   forward engine events for SSE bridging
+//	POST   /v1/leases/{id}/complete finish the job (artifacts or error)
+//	DELETE /v1/leases/{id}          release: requeue without completing
+//
+// A lost lease (expired, replaced, or unknown) answers 410 Gone; the
+// worker must abandon the job — another worker may already own it.
+package fleetapi
+
+import "sparkxd"
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name identifies the worker across requests; lease exclusion after
+	// a crash is keyed by it, so restarts should reuse the name only if
+	// the operator wants the restart to inherit those exclusions.
+	Name string `json:"name"`
+	// Slots is how many jobs the worker executes concurrently.
+	Slots int `json:"slots"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	Name string `json:"name"`
+	// LeaseTTLMillis is the coordinator's lease TTL; workers heartbeat
+	// a few times per TTL window.
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+	// Dispatch echoes the coordinator's dispatch mode ("local" means
+	// this worker will never be handed work).
+	Dispatch string `json:"dispatch"`
+}
+
+// LeaseRequest asks for up to Capacity queued jobs.
+type LeaseRequest struct {
+	Worker   string `json:"worker"`
+	Capacity int    `json:"capacity"`
+}
+
+// Grant is one leased job: the worker owns it until the lease expires,
+// is released, or is completed.
+type Grant struct {
+	LeaseID string `json:"lease_id"`
+	JobID   string `json:"job_id"`
+	// Spec is the normalized job spec to execute.
+	Spec sparkxd.JobSpec `json:"spec"`
+	// TTLMillis is how long the lease lives without a renewal.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// LeaseResponse carries zero or more grants (zero = nothing leasable
+// for this worker right now).
+type LeaseResponse struct {
+	Leases []Grant `json:"leases"`
+}
+
+// RenewResponse acknowledges a heartbeat with the refreshed TTL.
+type RenewResponse struct {
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// CompleteRequest finishes a leased job. Exactly one of Artifacts or
+// Error is set: Artifacts maps result roles to store keys the worker
+// has already uploaded (PUT /v1/artifacts/{key}), Error marks the job
+// failed.
+type CompleteRequest struct {
+	Artifacts map[string]sparkxd.ArtifactKey `json:"artifacts,omitempty"`
+	Error     string                         `json:"error,omitempty"`
+}
+
+// WorkerStatus is one row of GET /v1/workers.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	// Slots is the concurrency the worker registered with.
+	Slots int `json:"slots"`
+	// ActiveLeases counts the worker's live leases.
+	ActiveLeases int `json:"active_leases"`
+	// LastSeenMillisAgo is how long ago the worker last talked to the
+	// coordinator (registration, lease request, or heartbeat).
+	LastSeenMillisAgo int64 `json:"last_seen_ms_ago"`
+}

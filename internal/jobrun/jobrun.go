@@ -1,0 +1,141 @@
+// Package jobrun executes one job-service JobSpec against a warm
+// sparkxd.System and returns the produced artifacts by role. It is the
+// single execution path shared by the coordinator's local dispatcher
+// (internal/server) and the fleet worker (internal/worker), so a job
+// produces byte-identical artifacts no matter which process ran it —
+// the property that makes lease requeue after a worker crash safe.
+package jobrun
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sparkxd"
+)
+
+// Systems is the fingerprint-keyed cache of warm engines both executors
+// share: jobs whose ConfigSpecs hash to the same fingerprint run
+// against one lazily-built *sparkxd.System, so datasets, device
+// profiles, and sweep caches are derived once per configuration per
+// process. The observer receives every engine event tagged with the
+// owning fingerprint (for per-job fanout).
+type Systems struct {
+	workers  int
+	observer func(fp string, ev sparkxd.Event)
+
+	mu      sync.Mutex
+	entries map[string]*sysEntry
+}
+
+// sysEntry lazily builds one shared System per config fingerprint.
+type sysEntry struct {
+	once sync.Once
+	sys  *sparkxd.System
+	err  error
+}
+
+// NewSystems builds a cache whose engines run sweeps on a pool of
+// `workers` and report events through observer.
+func NewSystems(workers int, observer func(fp string, ev sparkxd.Event)) *Systems {
+	if observer == nil {
+		observer = func(string, sparkxd.Event) {}
+	}
+	return &Systems{workers: workers, observer: observer, entries: make(map[string]*sysEntry)}
+}
+
+// For returns (building once) the shared System of one configuration
+// fingerprint.
+func (c *Systems) For(fp string, cfg sparkxd.ConfigSpec) (*sparkxd.System, error) {
+	c.mu.Lock()
+	ent, ok := c.entries[fp]
+	if !ok {
+		ent = &sysEntry{}
+		c.entries[fp] = ent
+	}
+	c.mu.Unlock()
+	ent.once.Do(func() {
+		opts, err := cfg.Options()
+		if err != nil {
+			ent.err = err
+			return
+		}
+		opts = append(opts,
+			sparkxd.WithSweepWorkers(c.workers),
+			sparkxd.WithObserver(func(ev sparkxd.Event) { c.observer(fp, ev) }),
+		)
+		ent.sys, ent.err = sparkxd.New(opts...)
+	})
+	return ent.sys, ent.err
+}
+
+// Produce runs spec's work on sys and returns the artifact values
+// keyed by their result role ("baseline", "improved", "tolerance",
+// "placement", "evaluation", "energy", "sweep"). The caller persists
+// them (locally or by uploading to the coordinator); every returned
+// value is accepted by sparkxd.PutArtifact.
+func Produce(ctx context.Context, sys *sparkxd.System, spec sparkxd.JobSpec) (map[string]any, error) {
+	p := sys.Pipeline()
+	switch spec.Kind {
+	case sparkxd.JobSweep:
+		if _, err := p.Train(ctx); err != nil {
+			return nil, err
+		}
+		if _, err := p.ImproveTolerance(ctx); err != nil {
+			return nil, err
+		}
+		rep, err := p.Sweep(ctx, *spec.Sweep)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"improved": p.Improved, "sweep": rep}, nil
+
+	case sparkxd.JobPipeline:
+		target := sparkxd.StageRank(spec.Stage)
+		if target < 0 {
+			return nil, fmt.Errorf("unknown stage %q", spec.Stage)
+		}
+		stages := []struct {
+			name string
+			run  func(context.Context) error
+		}{
+			{"train", func(ctx context.Context) error { _, err := p.Train(ctx); return err }},
+			{"improve", func(ctx context.Context) error { _, err := p.ImproveTolerance(ctx); return err }},
+			{"analyze", func(ctx context.Context) error { _, err := p.AnalyzeTolerance(ctx); return err }},
+			{"map", func(ctx context.Context) error { _, err := p.Map(ctx); return err }},
+			{"evaluate", func(ctx context.Context) error { _, err := p.EvaluateUnderErrors(ctx); return err }},
+			{"energy", func(ctx context.Context) error { _, err := p.EnergyReport(ctx); return err }},
+		}
+		for i, st := range stages {
+			if i > target {
+				break
+			}
+			if err := st.run(ctx); err != nil {
+				return nil, fmt.Errorf("stage %s: %w", st.name, err)
+			}
+		}
+		produced := map[string]any{}
+		if p.Baseline != nil {
+			produced["baseline"] = p.Baseline
+		}
+		if p.Improved != nil {
+			produced["improved"] = p.Improved
+		}
+		if p.Tolerance != nil {
+			produced["tolerance"] = p.Tolerance
+		}
+		if p.Placement != nil {
+			produced["placement"] = p.Placement
+		}
+		if p.Evaluation != nil {
+			produced["evaluation"] = p.Evaluation
+		}
+		if p.Energy != nil {
+			produced["energy"] = p.Energy
+		}
+		return produced, nil
+
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
+	}
+}

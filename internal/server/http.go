@@ -1,26 +1,44 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 
 	"sparkxd"
+	"sparkxd/internal/fleetapi"
 	"sparkxd/internal/store"
 )
 
+// maxUploadBytes bounds one worker artifact upload (trained models for
+// the largest paper configurations are far below this).
+const maxUploadBytes = 256 << 20
+
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/jobs                submit a JobSpec (idempotent; 202 on
-//	                             creation, 200 when the job already exists)
-//	GET  /v1/jobs                list job statuses
-//	GET  /v1/jobs/{id}           one job's status
-//	GET  /v1/jobs/{id}/events    server-sent progress events, replayed
-//	                             from the start and streamed until the job
-//	                             reaches a terminal state
-//	GET  /v1/artifacts/{key...}  the stored envelope of one artifact key
-//	GET  /v1/healthz             liveness probe
+//	POST   /v1/jobs                 submit a JobSpec (idempotent; 202 on
+//	                                creation, 200 when the job already exists)
+//	GET    /v1/jobs                 list job statuses
+//	GET    /v1/jobs/{id}            one job's status
+//	GET    /v1/jobs/{id}/events     server-sent progress events, replayed
+//	                                from the start (or from Last-Event-ID)
+//	                                and streamed until the job reaches a
+//	                                terminal state
+//	GET    /v1/artifacts/{key...}   the stored envelope of one artifact key
+//	PUT    /v1/artifacts/{key...}   upload an envelope (fleet workers;
+//	                                verified against its content address)
+//	POST   /v1/workers              register a fleet worker
+//	GET    /v1/workers              list registered workers
+//	POST   /v1/leases               lease queued jobs (fleet/hybrid)
+//	POST   /v1/leases/{id}/renew    heartbeat a lease
+//	POST   /v1/leases/{id}/events   bridge worker events into the SSE feed
+//	POST   /v1/leases/{id}/complete finish a leased job
+//	DELETE /v1/leases/{id}          release a lease (requeue the job)
+//	GET    /v1/healthz              liveness probe (+ dispatch/fleet info)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -28,9 +46,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/artifacts/{key...}", s.handleArtifact)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("PUT /v1/artifacts/{key...}", s.handleArtifactPut)
+	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
+	mux.HandleFunc("POST /v1/leases", s.handleLeaseAcquire)
+	mux.HandleFunc("POST /v1/leases/{id}/renew", s.handleLeaseRenew)
+	mux.HandleFunc("POST /v1/leases/{id}/events", s.handleLeaseEvents)
+	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleLeaseComplete)
+	mux.HandleFunc("DELETE /v1/leases/{id}", s.handleLeaseRelease)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -49,6 +73,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"dispatch": string(s.dispatch),
+		"workers":  len(s.Workers()),
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -90,7 +122,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams a job's progress as server-sent events: every
-// recorded event is replayed first, then new events stream live until
+// recorded event is replayed first — from the absolute index after the
+// request's Last-Event-ID, when present, so reconnecting consumers
+// neither lose nor duplicate events — then new events stream live until
 // the job reaches a terminal state (or the client goes away).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
@@ -103,22 +137,42 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	sent := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		n, err := strconv.Atoi(last)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad Last-Event-ID %q", last)
+			return
+		}
+		sent = n + 1
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	sent := 0
 	for {
 		evs, next, terminal, notify, ok := s.eventsSince(id, sent)
 		if !ok {
 			return
 		}
-		for _, ev := range evs {
+		if next < sent {
+			// The client's cursor points beyond the log: its Last-Event-ID
+			// is from a previous server lifetime (indices reset when the
+			// job table is rebuilt from persisted records). Replay the
+			// retained log — duplicates across a restart beat an empty
+			// stream that hides the terminal event.
+			sent = 0
+			continue
+		}
+		// evs[i] sits at absolute index next-len(evs)+i; emit it as the
+		// SSE event id so Last-Event-ID resume is exact.
+		base := next - len(evs)
+		for i, ev := range evs {
 			b, err := json.Marshal(ev)
 			if err != nil {
 				return
 			}
-			fmt.Fprintf(w, "data: %s\n\n", b)
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", base+i, b)
 		}
 		sent = next
 		flusher.Flush()
@@ -162,4 +216,122 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(append(b, '\n'))
+}
+
+// handleArtifactPut accepts a worker-uploaded envelope. The bytes must
+// decode and hash back to the claimed key (store.DecodeEnvelope), so a
+// corrupt or tampered upload can never land at a valid address.
+func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	key := sparkxd.ArtifactKey(r.PathValue("key"))
+	if err := key.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read upload: %v", err)
+		return
+	}
+	if len(b) > maxUploadBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", maxUploadBytes)
+		return
+	}
+	env, err := store.DecodeEnvelope(store.Key(key), bytes.TrimRight(b, "\r\n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.PutUploadedArtifact(key, env); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"key": string(key)})
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req fleetapi.RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode registration: %v", err)
+		return
+	}
+	resp, err := s.RegisterWorker(req.Name, req.Slots)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Workers())
+}
+
+func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
+	var req fleetapi.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode lease request: %v", err)
+		return
+	}
+	grants, err := s.AcquireLeases(req.Worker, req.Capacity)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fleetapi.LeaseResponse{Leases: grants})
+}
+
+func (s *Server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	ttl, err := s.RenewLease(r.PathValue("id"))
+	if err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fleetapi.RenewResponse{TTLMillis: ttl.Milliseconds()})
+}
+
+func (s *Server) handleLeaseEvents(w http.ResponseWriter, r *http.Request) {
+	var evs []sparkxd.Event
+	if err := json.NewDecoder(r.Body).Decode(&evs); err != nil {
+		writeError(w, http.StatusBadRequest, "decode events: %v", err)
+		return
+	}
+	if err := s.IngestEvents(r.PathValue("id"), evs); err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleLeaseComplete(w http.ResponseWriter, r *http.Request) {
+	var req fleetapi.CompleteRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode completion: %v", err)
+		return
+	}
+	if err := s.CompleteLease(r.PathValue("id"), req.Artifacts, req.Error); err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
+	if err := s.ReleaseLease(r.PathValue("id")); err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeLeaseError maps lease-protocol failures onto HTTP codes: a lost
+// lease is 410 Gone (the worker must abandon the job), anything else a
+// 400.
+func writeLeaseError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	if errors.Is(err, ErrLeaseLost) {
+		code = http.StatusGone
+	}
+	writeError(w, code, "%v", err)
 }

@@ -1,0 +1,317 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sparkxd"
+	"sparkxd/internal/fleetapi"
+)
+
+// Lease protocol failures (mapped onto HTTP status codes in http.go).
+var (
+	// ErrLeaseLost: the lease expired, was revoked, or never existed.
+	// The worker must abandon the job — another worker may own it.
+	ErrLeaseLost = errors.New("server: lease lost")
+	// ErrBadComplete: a completion request referenced artifacts that
+	// were never uploaded, or carried neither artifacts nor an error.
+	ErrBadComplete = errors.New("server: invalid completion")
+)
+
+// RegisterWorker records a fleet worker's presence and returns the
+// lease parameters it should heartbeat under. Registration is
+// idempotent — workers may re-register on every reconnect.
+func (s *Server) RegisterWorker(name string, slots int) (fleetapi.RegisterResponse, error) {
+	if name == "" {
+		return fleetapi.RegisterResponse{}, fmt.Errorf("empty worker name")
+	}
+	if slots <= 0 {
+		slots = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchWorkerLocked(name, slots)
+	s.logf("worker %s registered (%d slots)", name, slots)
+	return fleetapi.RegisterResponse{
+		Name:           name,
+		LeaseTTLMillis: s.leaseTTL.Milliseconds(),
+		Dispatch:       string(s.dispatch),
+	}, nil
+}
+
+// Workers lists the registered fleet workers, sorted by name.
+func (s *Server) Workers() []fleetapi.WorkerStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := make(map[string]int)
+	for _, l := range s.leases {
+		active[l.worker]++
+	}
+	now := time.Now()
+	out := make([]fleetapi.WorkerStatus, 0, len(s.fleet))
+	for _, w := range s.fleet {
+		out = append(out, fleetapi.WorkerStatus{
+			Name:              w.name,
+			Slots:             w.slots,
+			ActiveLeases:      active[w.name],
+			LastSeenMillisAgo: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// AcquireLeases hands up to capacity queued jobs to a worker. Jobs
+// whose earlier lease expired on this same worker are skipped (the
+// worker is excluded — it already demonstrated it cannot finish them),
+// and each granted job carries exactly one live lease. In local
+// dispatch mode, and while draining, no work is handed out.
+func (s *Server) AcquireLeases(worker string, capacity int) ([]fleetapi.Grant, error) {
+	if worker == "" {
+		return nil, fmt.Errorf("empty worker name")
+	}
+	if capacity <= 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchWorkerLocked(worker, 0)
+	if s.dispatch == DispatchLocal || s.draining || s.closed {
+		return nil, nil
+	}
+	var (
+		grants []fleetapi.Grant
+		keep   []*jobRec
+	)
+	// Exclusion must never starve a job: if every worker seen alive
+	// recently has an expired lease on it, the exclusion set has lost its
+	// meaning (nobody else will come) and is wiped so the fleet retries.
+	liveCutoff := time.Now().Add(-excludedRetryTTLs * s.leaseTTL)
+	for _, rec := range s.queue {
+		// rec.leaseID != "" should be impossible for a queued job (leases
+		// pop jobs off the queue); the check is the at-most-one-lease
+		// invariant spelled defensively.
+		if len(grants) >= capacity || rec.leaseID != "" {
+			keep = append(keep, rec)
+			continue
+		}
+		if rec.excluded[worker] {
+			if s.hasLiveAlternativeLocked(rec, liveCutoff) {
+				keep = append(keep, rec)
+				continue
+			}
+			s.logf("job %s: every live worker excluded; clearing exclusions", rec.status.ID)
+			rec.excluded = nil
+		}
+		s.leaseSeq++
+		l := &lease{
+			id:      fmt.Sprintf("lease-%06d", s.leaseSeq),
+			worker:  worker,
+			rec:     rec,
+			expires: time.Now().Add(s.leaseTTL),
+		}
+		s.leases[l.id] = l
+		rec.leaseID = l.id
+		rec.status.State = sparkxd.JobRunning
+		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "leased",
+			Message: fmt.Sprintf("worker %s (lease %s)", worker, l.id)})
+		s.logf("job %s leased to worker %s (%s)", rec.status.ID, worker, l.id)
+		grants = append(grants, fleetapi.Grant{
+			LeaseID:   l.id,
+			JobID:     rec.status.ID,
+			Spec:      rec.status.Spec,
+			TTLMillis: s.leaseTTL.Milliseconds(),
+		})
+	}
+	s.queue = keep
+	return grants, nil
+}
+
+// RenewLease extends a live lease's TTL (the worker heartbeat). A lost
+// lease returns ErrLeaseLost: the worker must stop working on the job.
+func (s *Server) RenewLease(id string) (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leases[id]
+	if !ok {
+		return 0, ErrLeaseLost
+	}
+	l.expires = time.Now().Add(s.leaseTTL)
+	s.touchWorkerLocked(l.worker, 0)
+	return s.leaseTTL, nil
+}
+
+// ReleaseLease returns a leased job to the queue without penalty (the
+// graceful half of worker shutdown: drained-but-unfinished jobs are
+// handed back instead of left to expire).
+func (s *Server) ReleaseLease(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leases[id]
+	if !ok {
+		return ErrLeaseLost
+	}
+	delete(s.leases, id)
+	s.touchWorkerLocked(l.worker, 0)
+	s.requeueLocked(l.rec, fmt.Sprintf("released by worker %s", l.worker))
+	return nil
+}
+
+// IngestEvents bridges a worker's forwarded engine events into the
+// job's SSE stream. Events on a lost lease are dropped (ErrLeaseLost)
+// so a zombie worker cannot pollute a job that moved on.
+func (s *Server) IngestEvents(id string, evs []sparkxd.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leases[id]
+	if !ok {
+		return ErrLeaseLost
+	}
+	for _, ev := range evs {
+		s.appendEventLocked(l.rec, ev)
+	}
+	return nil
+}
+
+// CompleteLease finishes a leased job: either with an artifact role map
+// the worker has already uploaded to the store, or with a failure
+// message. Artifact keys are verified present before the job is marked
+// done — a completion must never dangle.
+func (s *Server) CompleteLease(id string, arts map[string]sparkxd.ArtifactKey, failure string) error {
+	if failure == "" && len(arts) == 0 {
+		return fmt.Errorf("%w: neither artifacts nor an error", ErrBadComplete)
+	}
+	// Verify uploads outside the lock (store reads do IO); the lease is
+	// re-checked under the lock afterwards.
+	if failure == "" {
+		for role, key := range arts {
+			if _, err := s.st.Stat(key); err != nil {
+				return fmt.Errorf("%w: artifact %q (%s) not in store: %v", ErrBadComplete, role, key, err)
+			}
+		}
+	}
+	s.mu.Lock()
+	l, ok := s.leases[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrLeaseLost
+	}
+	delete(s.leases, id)
+	s.touchWorkerLocked(l.worker, 0)
+	rec := l.rec
+	rec.leaseID = ""
+	if rec.status.State.Terminal() {
+		s.mu.Unlock()
+		return nil
+	}
+	if failure != "" {
+		rec.status.State = sparkxd.JobFailed
+		rec.status.Error = failure
+		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "failed", Message: failure})
+		s.logf("job %s failed on worker %s: %s", rec.status.ID, l.worker, failure)
+		s.mu.Unlock()
+		return nil
+	}
+	rec.status.State = sparkxd.JobDone
+	rec.status.Artifacts = arts
+	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "done",
+		Message: fmt.Sprintf("%d artifacts (worker %s)", len(arts), l.worker)})
+	s.logf("job %s done on worker %s (%d artifacts)", rec.status.ID, l.worker, len(arts))
+	status := copyStatus(rec.status)
+	s.mu.Unlock()
+	s.persistRecord(status)
+	return nil
+}
+
+// PutUploadedArtifact stores an envelope a worker uploaded, after
+// verifying the bytes hash back to the claimed key. Content addressing
+// makes this idempotent and race-free: two workers (or a zombie and its
+// replacement) uploading the same deterministic result write the same
+// bytes to the same address.
+func (s *Server) PutUploadedArtifact(key sparkxd.ArtifactKey, env *sparkxd.ArtifactEnvelope) error {
+	got, err := s.st.Put(env.Kind, env.Payload)
+	if err != nil {
+		return err
+	}
+	if got != key {
+		// Unreachable when the envelope was decoded against the key, but
+		// guard the store's integrity anyway.
+		return fmt.Errorf("uploaded envelope stored at %s, claimed %s", got, key)
+	}
+	return nil
+}
+
+// reapLoop expires overdue leases, requeueing their jobs with the dead
+// worker excluded. Runs for the server's lifetime in fleet and hybrid
+// modes.
+func (s *Server) reapLoop() {
+	defer s.wg.Done()
+	interval := s.leaseTTL / 4
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	if interval > 2*time.Second {
+		interval = 2 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-tick.C:
+			s.expireLeases(now)
+		}
+	}
+}
+
+// expireLeases requeues every job whose lease deadline has passed,
+// excluding the silent worker from re-leasing that job.
+func (s *Server) expireLeases(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, l := range s.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(s.leases, id)
+		rec := l.rec
+		if rec.excluded == nil {
+			rec.excluded = make(map[string]bool)
+		}
+		rec.excluded[l.worker] = true
+		s.requeueLocked(rec, fmt.Sprintf("lease %s expired on worker %s", id, l.worker))
+	}
+}
+
+// excludedRetryTTLs is how many lease TTLs of silence demote a worker
+// from "live alternative" when deciding whether a job's exclusion set
+// still leaves anyone eligible to run it.
+const excludedRetryTTLs = 5
+
+// hasLiveAlternativeLocked reports whether some recently-seen worker is
+// not excluded from rec. Caller holds s.mu.
+func (s *Server) hasLiveAlternativeLocked(rec *jobRec, cutoff time.Time) bool {
+	for name, w := range s.fleet {
+		if !rec.excluded[name] && w.lastSeen.After(cutoff) {
+			return true
+		}
+	}
+	return false
+}
+
+// touchWorkerLocked refreshes a worker's presence entry. Caller holds
+// s.mu. slots == 0 keeps the registered slot count.
+func (s *Server) touchWorkerLocked(name string, slots int) {
+	w, ok := s.fleet[name]
+	if !ok {
+		w = &workerInfo{name: name, slots: 1}
+		s.fleet[name] = w
+	}
+	if slots > 0 {
+		w.slots = slots
+	}
+	w.lastSeen = time.Now()
+}

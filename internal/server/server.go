@@ -1,9 +1,10 @@
 // Package server is the sparkxd job service: an HTTP/JSON API that
 // accepts pipeline-stage and scenario-sweep jobs, executes them
-// asynchronously on the internal/sched work-stealing pool, and persists
-// every result into a content-addressed artifact store.
+// asynchronously — on its own internal/sched pool, on a fleet of
+// lease-holding remote workers, or both — and persists every result
+// into a content-addressed artifact store.
 //
-// Three properties shape the design (DESIGN.md §8):
+// Three properties shape the design (DESIGN.md §8/§9):
 //
 //   - Deterministic identity. A job's ID is the hash of its normalized
 //     spec, so submitting the same work twice — from one client or many —
@@ -16,13 +17,16 @@
 //   - Content-addressed results. Artifacts are stored under
 //     <kind>/<sha256-of-canonical-json>; because execution is
 //     deterministic in the spec, re-running an identical job reproduces
-//     identical artifact keys.
+//     identical artifact keys. That makes lease requeue after a worker
+//     crash safe (the re-run provably reproduces the same bytes), and it
+//     makes completed jobs durable: every JobDone persists a
+//     KindJobRecord into the store, and a restarted server preloads those
+//     records so repeat submissions are served from the store instead of
+//     recomputed.
 //
 // Progress events stream over GET /v1/jobs/{id}/events as server-sent
-// events, backed by the SDK's Observer hook. Because the observer is
-// attached to the shared System, events are scoped to the configuration
-// fingerprint: two jobs with identical configurations running at the
-// same time each see the merged event stream of that engine.
+// events, backed by the SDK's Observer hook; events forwarded by fleet
+// workers are bridged into the same per-job streams.
 package server
 
 import (
@@ -31,39 +35,87 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"sparkxd"
+	"sparkxd/internal/jobrun"
 	"sparkxd/internal/sched"
 )
+
+// Dispatch selects who executes queued jobs.
+type Dispatch string
+
+const (
+	// DispatchLocal: the server's own sched pool runs everything; lease
+	// requests from workers return no work.
+	DispatchLocal Dispatch = "local"
+	// DispatchFleet: only lease-holding remote workers execute; the
+	// server is a pure coordinator.
+	DispatchFleet Dispatch = "fleet"
+	// DispatchHybrid: the local pool executes jobs in bounded batches
+	// while remote workers lease whatever is queued between batches.
+	DispatchHybrid Dispatch = "hybrid"
+)
+
+// ParseDispatch canonicalizes a dispatch-mode name.
+func ParseDispatch(s string) (Dispatch, error) {
+	switch Dispatch(s) {
+	case "", DispatchLocal:
+		return DispatchLocal, nil
+	case DispatchFleet:
+		return DispatchFleet, nil
+	case DispatchHybrid:
+		return DispatchHybrid, nil
+	default:
+		return "", fmt.Errorf("unknown dispatch mode %q (valid: %s, %s, %s)",
+			s, DispatchLocal, DispatchFleet, DispatchHybrid)
+	}
+}
+
+// DefaultLeaseTTL is the lease lifetime when Config.LeaseTTL is zero.
+const DefaultLeaseTTL = 15 * time.Second
 
 // Config parameterizes a Server.
 type Config struct {
 	// Store receives every job artifact; nil means an in-memory store.
 	Store sparkxd.ArtifactStore
-	// Workers sizes the job execution pool (<= 0: GOMAXPROCS).
+	// Workers sizes the local job execution pool (<= 0: GOMAXPROCS).
 	Workers int
+	// Dispatch selects local, fleet, or hybrid execution (zero: local).
+	Dispatch Dispatch
+	// LeaseTTL bounds how long a worker may go silent before its leases
+	// expire and their jobs requeue (zero: DefaultLeaseTTL).
+	LeaseTTL time.Duration
 	// Logf, when non-nil, receives one line per job state transition.
 	Logf func(format string, args ...any)
 }
 
-// Server owns the job table, the execution pool, and the artifact store.
-// Create with New, serve its Handler, and Close it to stop the pool.
+// Server owns the job table, the execution pool, the lease table, and
+// the artifact store. Create with New, serve its Handler, optionally
+// Drain it on shutdown, and Close it to stop the pool.
 type Server struct {
-	st      sparkxd.ArtifactStore
-	workers int
-	logf    func(string, ...any)
+	st       sparkxd.ArtifactStore
+	workers  int
+	dispatch Dispatch
+	leaseTTL time.Duration
+	logf     func(string, ...any)
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu      sync.Mutex
-	jobs    map[string]*jobRec
-	queue   []*jobRec
-	wake    chan struct{}
-	closed  bool
-	systems map[string]*sysEntry
-	running map[string]map[*jobRec]struct{} // config fingerprint -> jobs executing now
+	mu       sync.Mutex
+	jobs     map[string]*jobRec
+	queue    []*jobRec
+	wake     chan struct{}
+	closed   bool
+	draining bool
+	inflight int                             // jobs executing on the local pool right now
+	systems  *jobrun.Systems                 // shared warm engines, one per config fingerprint
+	running  map[string]map[*jobRec]struct{} // config fingerprint -> jobs executing now
+	leases   map[string]*lease
+	leaseSeq uint64
+	fleet    map[string]*workerInfo // worker name -> registration/presence
 
 	// cache persists across execution batches so sched jobs can share
 	// single-flight artifacts the way the experiment suite does.
@@ -87,16 +139,30 @@ type jobRec struct {
 	events  []sparkxd.Event
 	dropped int           // events trimmed off the front of the log
 	notify  chan struct{} // closed and replaced on every update
+
+	leaseID  string          // active lease ("" when unleased)
+	excluded map[string]bool // workers whose lease on this job expired
 }
 
-// sysEntry lazily builds one shared System per config fingerprint.
-type sysEntry struct {
-	once sync.Once
-	sys  *sparkxd.System
-	err  error
+// lease is one worker's time-bounded claim on one job. At most one
+// lease per job is live at any time: grants pop jobs off the queue, and
+// a job only re-enters the queue after its lease is removed.
+type lease struct {
+	id      string
+	worker  string
+	rec     *jobRec
+	expires time.Time
 }
 
-// New builds a Server and starts its dispatcher.
+// workerInfo tracks one registered fleet worker for observability.
+type workerInfo struct {
+	name     string
+	slots    int
+	lastSeen time.Time
+}
+
+// New builds a Server, preloads persisted job records from the store,
+// and starts its dispatcher and lease reaper.
 func New(cfg Config) (*Server, error) {
 	st := cfg.Store
 	if st == nil {
@@ -106,33 +172,58 @@ func New(cfg Config) (*Server, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	dispatch, err := ParseDispatch(string(cfg.Dispatch))
+	if err != nil {
+		return nil, err
+	}
+	leaseTTL := cfg.LeaseTTL
+	if leaseTTL <= 0 {
+		leaseTTL = DefaultLeaseTTL
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		st:      st,
-		workers: workers,
-		logf:    logf,
-		ctx:     ctx,
-		cancel:  cancel,
-		jobs:    make(map[string]*jobRec),
-		wake:    make(chan struct{}, 1),
-		systems: make(map[string]*sysEntry),
-		running: make(map[string]map[*jobRec]struct{}),
-		cache:   sched.NewCache(),
+		st:       st,
+		workers:  workers,
+		dispatch: dispatch,
+		leaseTTL: leaseTTL,
+		logf:     logf,
+		ctx:      ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*jobRec),
+		wake:     make(chan struct{}, 1),
+		running:  make(map[string]map[*jobRec]struct{}),
+		leases:   make(map[string]*lease),
+		fleet:    make(map[string]*workerInfo),
+		cache:    sched.NewCache(),
 	}
-	s.wg.Add(1)
-	go s.dispatch()
+	s.systems = jobrun.NewSystems(workers, s.fanout)
+	s.loadRecords()
+	if dispatch != DispatchFleet {
+		s.wg.Add(1)
+		go s.dispatchLoop()
+	}
+	if dispatch != DispatchLocal {
+		s.wg.Add(1)
+		go s.reapLoop()
+	}
 	return s, nil
 }
 
 // Store returns the artifact store the server persists into.
 func (s *Server) Store() sparkxd.ArtifactStore { return s.st }
 
+// DispatchMode returns the server's dispatch mode.
+func (s *Server) DispatchMode() Dispatch { return s.dispatch }
+
 // Close stops accepting work, cancels running jobs, and waits for the
-// dispatcher to drain.
+// dispatcher and reaper to drain. Jobs interrupted mid-execution are
+// requeued (not failed) — see finish — so a Ctrl-C'd server never
+// strands a job in "running"; call Drain first to give in-flight work a
+// bounded chance to complete.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -145,9 +236,44 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Drain stops handing out work — no new leases, no new local batches —
+// and waits up to timeout for in-flight jobs (local and leased) to
+// complete. Whatever is still outstanding afterwards is requeued:
+// active leases are revoked so their jobs go back to queued state
+// immediately rather than waiting for TTL expiry.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.logf("draining (timeout %s)", timeout)
+
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		busy := s.inflight + len(s.leases)
+		s.mu.Unlock()
+		if busy == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, l := range s.leases {
+		delete(s.leases, id)
+		s.requeueLocked(l.rec, fmt.Sprintf("drain timeout: lease %s on worker %s revoked", id, l.worker))
+	}
+}
+
 // Submit registers a job (idempotently) and returns its status plus
 // whether this submission created it. An identical spec — same job ID —
-// returns the existing job, whatever its state.
+// returns the existing job, whatever its state; a job completed in an
+// earlier server lifetime against the same store is served from its
+// persisted record without re-executing.
 func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
@@ -232,15 +358,85 @@ func (s *Server) eventsSince(id string, from int) (evs []sparkxd.Event, next int
 	return evs, rec.dropped + len(rec.events), rec.status.State.Terminal(), rec.notify, true
 }
 
-// dispatch runs queued jobs in batches on a fresh sched pool per batch
-// (sharing one cache), so concurrent submissions fan out across workers
-// with the scheduler's cost-aware work stealing.
-func (s *Server) dispatch() {
+// loadRecords preloads persisted job records (KindJobRecord) from the
+// store so submissions of previously-completed jobs are answered from
+// the durable cache. A record is only trusted if every artifact it
+// references is still present; otherwise the job will simply re-execute
+// (and, by determinism, re-derive identical keys).
+func (s *Server) loadRecords() {
+	infos, err := s.st.List(sparkxd.KindJobRecord)
+	if err != nil {
+		s.logf("job records: list: %v", err)
+		return
+	}
+	loaded := 0
+	for _, info := range infos {
+		rec, err := sparkxd.GetJobRecord(s.st, info.Key)
+		if err != nil {
+			s.logf("job records: %s: %v", info.Key, err)
+			continue
+		}
+		if rec.Version > sparkxd.JobRecordVersion || rec.JobID == "" || rec.State != sparkxd.JobDone {
+			continue
+		}
+		complete := true
+		for _, key := range rec.Artifacts {
+			if _, err := s.st.Stat(key); err != nil {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		fp, err := rec.Spec.Config.Fingerprint()
+		if err != nil {
+			continue
+		}
+		jr := &jobRec{
+			status: sparkxd.JobStatus{
+				ID:        rec.JobID,
+				State:     sparkxd.JobDone,
+				Spec:      rec.Spec,
+				Artifacts: rec.Artifacts,
+			},
+			fp:     fp,
+			notify: make(chan struct{}),
+		}
+		s.jobs[rec.JobID] = jr
+		s.appendEventLocked(jr, sparkxd.Event{Stage: "job", Phase: "done",
+			Message: fmt.Sprintf("served from persisted record (%d artifacts)", len(rec.Artifacts))})
+		loaded++
+	}
+	if loaded > 0 {
+		s.logf("job records: %d completed jobs restored from the store", loaded)
+	}
+}
+
+// persistRecord writes a completed job's durable record to the store.
+// Called without s.mu held (store writes do IO).
+func (s *Server) persistRecord(status sparkxd.JobStatus) {
+	rec := &sparkxd.JobRecord{
+		Version:   sparkxd.JobRecordVersion,
+		JobID:     status.ID,
+		State:     status.State,
+		Spec:      status.Spec,
+		Artifacts: status.Artifacts,
+	}
+	if _, err := sparkxd.PutArtifact(s.st, rec); err != nil {
+		s.logf("job %s: persist record: %v", status.ID, err)
+	}
+}
+
+// dispatchLoop runs queued jobs in batches on a fresh sched pool per
+// batch (sharing one cache), so concurrent submissions fan out across
+// workers with the scheduler's cost-aware work stealing. Not started in
+// fleet mode.
+func (s *Server) dispatchLoop() {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.ctx.Done():
-			s.failQueued("server shut down before execution")
 			return
 		case <-s.wake:
 		}
@@ -254,25 +450,23 @@ func (s *Server) dispatch() {
 	}
 }
 
-// takeQueued claims the current queue.
+// takeQueued claims jobs for local execution. In hybrid mode batches
+// are bounded by the pool size so queued work stays leasable by fleet
+// workers between batches; in local mode the whole queue is claimed.
 func (s *Server) takeQueued() []*jobRec {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	batch := s.queue
-	s.queue = nil
-	return batch
-}
-
-// failQueued marks every not-yet-started job failed (shutdown path).
-func (s *Server) failQueued(msg string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, rec := range s.queue {
-		rec.status.State = sparkxd.JobFailed
-		rec.status.Error = msg
-		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "failed", Message: msg})
+	if s.closed || s.draining {
+		return nil
 	}
-	s.queue = nil
+	n := len(s.queue)
+	if s.dispatch == DispatchHybrid && n > s.workers {
+		n = s.workers
+	}
+	batch := s.queue[:n:n]
+	s.queue = append([]*jobRec(nil), s.queue[n:]...)
+	s.inflight += len(batch)
+	return batch
 }
 
 // runBatch executes one claimed batch on the work-stealing pool. Job IDs
@@ -325,122 +519,26 @@ func (s *Server) execute(rec *jobRec) {
 
 // run performs the job's work and returns the artifact role map.
 func (s *Server) run(rec *jobRec) (map[string]sparkxd.ArtifactKey, error) {
-	sys, err := s.systemFor(rec.fp, rec.status.Spec.Config)
+	sys, err := s.systems.For(rec.fp, rec.status.Spec.Config)
 	if err != nil {
 		return nil, err
 	}
 	s.markRunningOn(rec)
 	defer s.unmarkRunningOn(rec)
 
-	p := sys.Pipeline()
-	spec := rec.status.Spec
-	arts := make(map[string]sparkxd.ArtifactKey)
-
-	switch spec.Kind {
-	case sparkxd.JobSweep:
-		if _, err := p.Train(s.ctx); err != nil {
-			return nil, err
-		}
-		if _, err := p.ImproveTolerance(s.ctx); err != nil {
-			return nil, err
-		}
-		rep, err := p.Sweep(s.ctx, *spec.Sweep)
-		if err != nil {
-			return nil, err
-		}
-		if err := s.putAll(arts, map[string]any{"improved": p.Improved, "sweep": rep}); err != nil {
-			return nil, err
-		}
-		return arts, nil
-
-	case sparkxd.JobPipeline:
-		target := sparkxd.StageRank(spec.Stage)
-		if target < 0 {
-			return nil, fmt.Errorf("unknown stage %q", spec.Stage)
-		}
-		stages := []struct {
-			name string
-			run  func(context.Context) error
-		}{
-			{"train", func(ctx context.Context) error { _, err := p.Train(ctx); return err }},
-			{"improve", func(ctx context.Context) error { _, err := p.ImproveTolerance(ctx); return err }},
-			{"analyze", func(ctx context.Context) error { _, err := p.AnalyzeTolerance(ctx); return err }},
-			{"map", func(ctx context.Context) error { _, err := p.Map(ctx); return err }},
-			{"evaluate", func(ctx context.Context) error { _, err := p.EvaluateUnderErrors(ctx); return err }},
-			{"energy", func(ctx context.Context) error { _, err := p.EnergyReport(ctx); return err }},
-		}
-		for i, st := range stages {
-			if i > target {
-				break
-			}
-			if err := st.run(s.ctx); err != nil {
-				return nil, fmt.Errorf("stage %s: %w", st.name, err)
-			}
-		}
-		produced := map[string]any{}
-		if p.Baseline != nil {
-			produced["baseline"] = p.Baseline
-		}
-		if p.Improved != nil {
-			produced["improved"] = p.Improved
-		}
-		if p.Tolerance != nil {
-			produced["tolerance"] = p.Tolerance
-		}
-		if p.Placement != nil {
-			produced["placement"] = p.Placement
-		}
-		if p.Evaluation != nil {
-			produced["evaluation"] = p.Evaluation
-		}
-		if p.Energy != nil {
-			produced["energy"] = p.Energy
-		}
-		if err := s.putAll(arts, produced); err != nil {
-			return nil, err
-		}
-		return arts, nil
-
-	default:
-		return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
+	produced, err := jobrun.Produce(s.ctx, sys, rec.status.Spec)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// putAll stores every produced artifact and fills the role map.
-func (s *Server) putAll(arts map[string]sparkxd.ArtifactKey, produced map[string]any) error {
+	arts := make(map[string]sparkxd.ArtifactKey, len(produced))
 	for role, v := range produced {
 		key, err := sparkxd.PutArtifact(s.st, v)
 		if err != nil {
-			return fmt.Errorf("store %s: %w", role, err)
+			return nil, fmt.Errorf("store %s: %w", role, err)
 		}
 		arts[role] = key
 	}
-	return nil
-}
-
-// systemFor returns (building once) the shared System of one config
-// fingerprint, its observer wired into the server's event fanout.
-func (s *Server) systemFor(fp string, cfg sparkxd.ConfigSpec) (*sparkxd.System, error) {
-	s.mu.Lock()
-	ent, ok := s.systems[fp]
-	if !ok {
-		ent = &sysEntry{}
-		s.systems[fp] = ent
-	}
-	s.mu.Unlock()
-	ent.once.Do(func() {
-		opts, err := cfg.Options()
-		if err != nil {
-			ent.err = err
-			return
-		}
-		opts = append(opts,
-			sparkxd.WithSweepWorkers(s.workers),
-			sparkxd.WithObserver(func(ev sparkxd.Event) { s.fanout(fp, ev) }),
-		)
-		ent.sys, ent.err = sparkxd.New(opts...)
-	})
-	return ent.sys, ent.err
+	return arts, nil
 }
 
 // fanout delivers an engine event to every job currently executing on
@@ -479,11 +577,23 @@ func (s *Server) setRunning(rec *jobRec) {
 	s.logf("job %s running", rec.status.ID)
 }
 
-// finish records a job's terminal state.
+// finish records a local job's terminal state — or requeues it when the
+// failure is the server's own shutdown cancellation, so Ctrl-C never
+// strands (or spuriously fails) a job that merely had the bad luck of
+// being in flight.
 func (s *Server) finish(rec *jobRec, arts map[string]sparkxd.ArtifactKey, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.inflight > 0 {
+		s.inflight--
+	}
 	if rec.status.State.Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	if err != nil && s.ctx.Err() != nil {
+		// Shutdown cancellation, not a real failure of the job.
+		s.requeueLocked(rec, "server shutting down")
+		s.mu.Unlock()
 		return
 	}
 	if err != nil {
@@ -491,6 +601,7 @@ func (s *Server) finish(rec *jobRec, arts map[string]sparkxd.ArtifactKey, err er
 		rec.status.Error = err.Error()
 		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "failed", Message: err.Error()})
 		s.logf("job %s failed: %v", rec.status.ID, err)
+		s.mu.Unlock()
 		return
 	}
 	rec.status.State = sparkxd.JobDone
@@ -498,6 +609,23 @@ func (s *Server) finish(rec *jobRec, arts map[string]sparkxd.ArtifactKey, err er
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "done",
 		Message: fmt.Sprintf("%d artifacts", len(arts))})
 	s.logf("job %s done (%d artifacts)", rec.status.ID, len(arts))
+	status := copyStatus(rec.status)
+	s.mu.Unlock()
+	s.persistRecord(status)
+}
+
+// requeueLocked returns a non-terminal job to the front of the queue.
+// Caller holds s.mu (and has already removed any lease on the job).
+func (s *Server) requeueLocked(rec *jobRec, msg string) {
+	rec.leaseID = ""
+	rec.status.State = sparkxd.JobQueued
+	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "requeued", Message: msg})
+	s.queue = append([]*jobRec{rec}, s.queue...)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	s.logf("job %s requeued: %s", rec.status.ID, msg)
 }
 
 // appendEventLocked records an event on a job (trimming the log's

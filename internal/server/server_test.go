@@ -290,4 +290,35 @@ func TestEventStream(t *testing.T) {
 			t.Fatalf("job lifecycle phases = %v, want %v", phases, want)
 		}
 	}
+
+	// Resume: a reconnect with Last-Event-ID skips the already-seen
+	// prefix (event 0 is the "queued" lifecycle marker).
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+status.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "0")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var resumed []string
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		data, ok := strings.CutPrefix(sc2.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev sparkxd.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", data, err)
+		}
+		if ev.Stage == "job" {
+			resumed = append(resumed, ev.Phase)
+		}
+	}
+	if len(resumed) == 0 || resumed[0] == "queued" {
+		t.Errorf("Last-Event-ID resume replayed the seen prefix: %v", resumed)
+	}
 }

@@ -1,0 +1,526 @@
+// Package worker is the fleet-execution half of the sparkxd job
+// service (DESIGN.md §9): a `sparkxd worker` process joins a
+// coordinator (`sparkxd serve -dispatch fleet|hybrid`), leases queued
+// jobs over HTTP, executes them through the exact same engine/pipeline
+// path the coordinator would use locally (internal/jobrun), streams
+// stage events back for SSE bridging, uploads result envelopes into the
+// coordinator's content-addressed store, and completes the lease.
+//
+// Liveness is lease-based: the worker heartbeats each lease a few times
+// per TTL window; a worker that crashes or partitions simply goes
+// silent, its leases expire, and the coordinator requeues the jobs with
+// the dead worker excluded. Because job IDs are content hashes and
+// execution is deterministic, the re-executed job provably reproduces
+// byte-identical artifacts — requeue is always safe.
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"sparkxd"
+	"sparkxd/internal/fleetapi"
+	"sparkxd/internal/jobrun"
+	"sparkxd/internal/store"
+)
+
+// Config parameterizes a Worker.
+type Config struct {
+	// Coordinator is the job server's base URL (e.g.
+	// "http://127.0.0.1:8080").
+	Coordinator string
+	// Name identifies the worker to the coordinator (default:
+	// "<hostname>-<pid>").
+	Name string
+	// Slots is how many leased jobs execute concurrently (<= 0:
+	// GOMAXPROCS). Each job's sweep stage additionally fans out on the
+	// local internal/sched pool sized by the same value.
+	Slots int
+	// Poll is how long an idle worker waits between lease requests
+	// (zero: 500ms).
+	Poll time.Duration
+	// DrainTimeout bounds how long a signalled worker keeps finishing
+	// in-flight jobs before releasing their leases (zero: 30s).
+	DrainTimeout time.Duration
+	// FlushInterval batches forwarded engine events (zero: 200ms).
+	FlushInterval time.Duration
+	// HTTPClient overrides the coordinator transport (nil: 30s-timeout
+	// default client).
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives one line per lease transition.
+	Logf func(format string, args ...any)
+}
+
+// Worker leases and executes jobs from one coordinator.
+type Worker struct {
+	name          string
+	slots         int
+	poll          time.Duration
+	drainTimeout  time.Duration
+	flushInterval time.Duration
+	logf          func(string, ...any)
+	api           *coordClient
+
+	ttl time.Duration // coordinator's lease TTL (learned at register)
+
+	mu      sync.Mutex
+	running int
+	systems *jobrun.Systems // shared warm engines, as on the coordinator
+	byFP    map[string]map[*task]struct{}
+}
+
+// task is one in-flight leased job.
+type task struct {
+	grant  fleetapi.Grant
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	pending []sparkxd.Event
+	lost    bool
+}
+
+func (t *task) markLost() {
+	t.mu.Lock()
+	t.lost = true
+	t.mu.Unlock()
+	t.cancel()
+}
+
+func (t *task) isLost() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lost
+}
+
+func (t *task) append(ev sparkxd.Event) {
+	t.mu.Lock()
+	t.pending = append(t.pending, ev)
+	t.mu.Unlock()
+}
+
+func (t *task) take() []sparkxd.Event {
+	t.mu.Lock()
+	evs := t.pending
+	t.pending = nil
+	t.mu.Unlock()
+	return evs
+}
+
+// New builds a Worker (it does not contact the coordinator yet; Run
+// registers and retries until the coordinator answers).
+func New(cfg Config) (*Worker, error) {
+	api, err := newCoordClient(cfg.Coordinator, cfg.HTTPClient)
+	if err != nil {
+		return nil, err
+	}
+	name := cfg.Name
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	drain := cfg.DrainTimeout
+	if drain <= 0 {
+		drain = 30 * time.Second
+	}
+	flush := cfg.FlushInterval
+	if flush <= 0 {
+		flush = 200 * time.Millisecond
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	w := &Worker{
+		name:          name,
+		slots:         slots,
+		poll:          poll,
+		drainTimeout:  drain,
+		flushInterval: flush,
+		logf:          logf,
+		api:           api,
+		byFP:          make(map[string]map[*task]struct{}),
+	}
+	w.systems = jobrun.NewSystems(slots, w.fanout)
+	return w, nil
+}
+
+// Name returns the worker's fleet name.
+func (w *Worker) Name() string { return w.name }
+
+// Run registers with the coordinator and processes leased jobs until
+// ctx is cancelled, then drains: in-flight jobs get up to DrainTimeout
+// to finish (and complete normally); whatever is still running has its
+// lease released so the coordinator requeues it immediately. Returns
+// nil on a clean (possibly drained) shutdown.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+
+	// jobCtx outlives ctx so draining jobs keep running after the
+	// shutdown signal; it is only cancelled once the drain window ends.
+	jobCtx, cancelJobs := context.WithCancel(context.Background())
+	defer cancelJobs()
+	var wg sync.WaitGroup
+
+	for ctx.Err() == nil {
+		granted := 0
+		if free := w.freeSlots(); free > 0 {
+			grants, err := w.api.acquire(ctx, w.name, free)
+			if err != nil {
+				if ctx.Err() == nil {
+					w.logf("lease request: %v", err)
+				}
+			}
+			for _, g := range grants {
+				g := g
+				w.addRunning(1)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer w.addRunning(-1)
+					w.execute(jobCtx, g)
+				}()
+			}
+			granted = len(grants)
+		}
+		if granted == 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(w.poll):
+			}
+		}
+	}
+
+	// Drain: let in-flight jobs finish inside the window.
+	if n := w.runningCount(); n > 0 {
+		w.logf("draining: %d in-flight jobs, up to %s", n, w.drainTimeout)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(w.drainTimeout):
+		w.logf("drain timeout: releasing remaining leases")
+		cancelJobs() // execute() sees jobCtx cancelled and releases the lease
+		<-done
+	}
+	return nil
+}
+
+// register announces the worker, retrying (the coordinator may start
+// after its workers) until ctx is cancelled.
+func (w *Worker) register(ctx context.Context) error {
+	backoff := 200 * time.Millisecond
+	for {
+		resp, err := w.api.register(ctx, w.name, w.slots)
+		if err == nil {
+			w.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+			if w.ttl <= 0 {
+				w.ttl = 15 * time.Second
+			}
+			w.logf("registered with %s as %q (%d slots, lease TTL %s, dispatch %s)",
+				w.api.base, w.name, w.slots, w.ttl, resp.Dispatch)
+			if resp.Dispatch == "local" {
+				w.logf("warning: coordinator dispatches locally only; this worker will idle")
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		w.logf("register: %v (retrying in %s)", err, backoff)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// execute runs one leased job end to end: heartbeat + event forwarding
+// in the background, the shared jobrun path in the foreground, then
+// artifact upload and lease completion (or release, when cancelled by
+// drain timeout).
+func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
+	ctx, cancel := context.WithCancel(jobCtx)
+	defer cancel()
+	t := &task{grant: g, cancel: cancel}
+
+	fp, err := g.Spec.Config.Fingerprint()
+	if err != nil {
+		w.completeWith(t, nil, fmt.Sprintf("fingerprint: %v", err))
+		return
+	}
+	w.addTask(fp, t)
+	defer w.removeTask(fp, t)
+	w.logf("job %s: executing (lease %s)", g.JobID, g.LeaseID)
+
+	// The heartbeat must outlive execution: artifact uploads can take
+	// many TTL windows, and a lease that expires mid-upload would throw
+	// the finished result away. It is stopped only just before the
+	// (single, bounded) completion round trip.
+	stopHB := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() { defer close(hbDone); w.heartbeat(t, stopHB) }()
+	var hbOnce sync.Once
+	stopHeartbeat := func() {
+		hbOnce.Do(func() { close(stopHB) })
+		<-hbDone
+	}
+	defer stopHeartbeat()
+
+	stopFlush := make(chan struct{})
+	flushDone := make(chan struct{})
+	go func() { defer close(flushDone); w.flushLoop(t, stopFlush) }()
+
+	var produced map[string]any
+	sys, err := w.systems.For(fp, g.Spec.Config)
+	if err == nil {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("panic: %v", r)
+				}
+			}()
+			produced, err = jobrun.Produce(ctx, sys, g.Spec)
+		}()
+	}
+	close(stopFlush)
+	<-flushDone
+	w.flushEvents(t) // final batch, best-effort
+
+	if t.isLost() {
+		w.logf("job %s: lease lost, abandoning result", g.JobID)
+		return
+	}
+	if err != nil && jobCtx.Err() != nil {
+		// Drain-timeout cancellation, not a real failure: hand the job
+		// back so the coordinator requeues it immediately.
+		stopHeartbeat()
+		opCtx, opCancel := w.opContext()
+		defer opCancel()
+		if rerr := w.api.release(opCtx, g.LeaseID); rerr != nil && !errors.Is(rerr, ErrLeaseLost) {
+			w.logf("job %s: release: %v", g.JobID, rerr)
+		}
+		w.logf("job %s: released (worker shutting down)", g.JobID)
+		return
+	}
+	if err != nil {
+		stopHeartbeat()
+		w.completeWith(t, nil, err.Error())
+		return
+	}
+
+	// Upload every produced artifact as a canonical envelope (the
+	// heartbeat keeps the lease alive throughout), then mark the job
+	// complete with the role → key map.
+	arts := make(map[string]sparkxd.ArtifactKey, len(produced))
+	for role, v := range produced {
+		kind, kerr := sparkxd.ArtifactKind(v)
+		if kerr != nil {
+			stopHeartbeat()
+			w.completeWith(t, nil, fmt.Sprintf("artifact %s: %v", role, kerr))
+			return
+		}
+		key, envelope, eerr := store.Encode(kind, v)
+		if eerr != nil {
+			stopHeartbeat()
+			w.completeWith(t, nil, fmt.Sprintf("artifact %s: %v", role, eerr))
+			return
+		}
+		opCtx, opCancel := w.opContext()
+		uerr := w.api.putArtifact(opCtx, sparkxd.ArtifactKey(key), envelope)
+		opCancel()
+		if uerr != nil {
+			w.logf("job %s: upload %s: %v (abandoning; lease will expire)", g.JobID, key, uerr)
+			return
+		}
+		if t.isLost() {
+			w.logf("job %s: lease lost mid-upload, abandoning result", g.JobID)
+			return
+		}
+		arts[role] = sparkxd.ArtifactKey(key)
+	}
+	stopHeartbeat()
+	w.completeWith(t, arts, "")
+}
+
+// completeWith reports a job's outcome to the coordinator.
+func (w *Worker) completeWith(t *task, arts map[string]sparkxd.ArtifactKey, failure string) {
+	opCtx, opCancel := w.opContext()
+	defer opCancel()
+	err := w.api.complete(opCtx, t.grant.LeaseID, arts, failure)
+	switch {
+	case errors.Is(err, ErrLeaseLost):
+		w.logf("job %s: lease lost before completion", t.grant.JobID)
+	case err != nil:
+		w.logf("job %s: complete: %v (abandoning; lease will expire)", t.grant.JobID, err)
+	case failure != "":
+		w.logf("job %s: failed: %s", t.grant.JobID, failure)
+	default:
+		w.logf("job %s: done (%d artifacts)", t.grant.JobID, len(arts))
+	}
+}
+
+// heartbeat renews the task's lease a few times per TTL window. A 410
+// from the coordinator — or a transport outage longer than one TTL, by
+// which time the lease has certainly expired — marks the task lost and
+// cancels its execution.
+func (w *Worker) heartbeat(t *task, stop <-chan struct{}) {
+	interval := w.ttl / 3
+	if interval < 20*time.Millisecond {
+		interval = 20 * time.Millisecond
+	}
+	// One renew may take much longer than the cadence (a loaded
+	// coordinator still refreshes the TTL on arrival), so its timeout is
+	// floored independently of the interval.
+	timeout := interval
+	if timeout < 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var failingSince time.Time
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		opCtx, opCancel := context.WithTimeout(context.Background(), timeout)
+		err := w.api.renew(opCtx, t.grant.LeaseID)
+		opCancel()
+		switch {
+		case err == nil:
+			failingSince = time.Time{}
+		case errors.Is(err, ErrLeaseLost):
+			w.logf("job %s: heartbeat: %v", t.grant.JobID, err)
+			t.markLost()
+			return
+		default:
+			if failingSince.IsZero() {
+				failingSince = time.Now()
+			}
+			if time.Since(failingSince) > w.ttl {
+				w.logf("job %s: coordinator unreachable past the lease TTL: %v", t.grant.JobID, err)
+				t.markLost()
+				return
+			}
+		}
+	}
+}
+
+// flushLoop periodically forwards buffered engine events.
+func (w *Worker) flushLoop(t *task, stop <-chan struct{}) {
+	tick := time.NewTicker(w.flushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			w.flushEvents(t)
+		}
+	}
+}
+
+// flushEvents posts the task's pending events. A lost lease cancels the
+// job; a transient failure puts the batch back so the next flush
+// retries it (the buffer is bounded in practice by the heartbeat, which
+// marks the task lost once the coordinator is silent past one TTL).
+func (w *Worker) flushEvents(t *task) {
+	evs := t.take()
+	if len(evs) == 0 || t.isLost() {
+		return
+	}
+	opCtx, opCancel := w.opContext()
+	defer opCancel()
+	if err := w.api.postEvents(opCtx, t.grant.LeaseID, evs); err != nil {
+		if errors.Is(err, ErrLeaseLost) {
+			t.markLost()
+			return
+		}
+		t.mu.Lock()
+		t.pending = append(evs, t.pending...)
+		t.mu.Unlock()
+	}
+}
+
+// fanout buffers an engine event on every task currently executing on
+// that fingerprint (mirrors the coordinator's own event scoping).
+func (w *Worker) fanout(fp string, ev sparkxd.Event) {
+	w.mu.Lock()
+	tasks := make([]*task, 0, len(w.byFP[fp]))
+	for t := range w.byFP[fp] {
+		tasks = append(tasks, t)
+	}
+	w.mu.Unlock()
+	for _, t := range tasks {
+		t.append(ev)
+	}
+}
+
+func (w *Worker) addTask(fp string, t *task) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	set := w.byFP[fp]
+	if set == nil {
+		set = make(map[*task]struct{})
+		w.byFP[fp] = set
+	}
+	set[t] = struct{}{}
+}
+
+func (w *Worker) removeTask(fp string, t *task) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.byFP[fp], t)
+}
+
+func (w *Worker) addRunning(d int) {
+	w.mu.Lock()
+	w.running += d
+	w.mu.Unlock()
+}
+
+func (w *Worker) runningCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.running
+}
+
+func (w *Worker) freeSlots() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.slots - w.running
+}
+
+// opContext bounds one coordinator round trip (independent of job
+// contexts, so completions still go out during drain).
+func (w *Worker) opContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}

@@ -1,0 +1,180 @@
+// End-to-end tests of the fleet worker against an in-process
+// coordinator: lease → execute → event bridging → upload → complete,
+// plus the graceful drain path.
+package worker_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sparkxd"
+	"sparkxd/internal/server"
+	"sparkxd/internal/worker"
+)
+
+func tinyConfig() sparkxd.ConfigSpec {
+	return sparkxd.ConfigSpec{
+		Neurons:      40,
+		TrainSamples: 50,
+		TestSamples:  25,
+		BaseEpochs:   1,
+		BERSchedule:  []float64{1e-5, 1e-3},
+	}
+}
+
+func newFleet(t *testing.T, slots int) (*server.Server, *httptest.Server, *worker.Worker, context.CancelFunc) {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Workers:  2,
+		Dispatch: server.DispatchFleet,
+		LeaseTTL: time.Second,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	w, err := worker.New(worker.Config{
+		Coordinator:   ts.URL,
+		Name:          "test-worker",
+		Slots:         slots,
+		Poll:          30 * time.Millisecond,
+		FlushInterval: 30 * time.Millisecond,
+		DrainTimeout:  time.Minute,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = w.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return srv, ts, w, cancel
+}
+
+func waitTerminal(t *testing.T, srv *server.Server, id string) sparkxd.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for time.Now().Before(deadline) {
+		status, ok := srv.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if status.State.Terminal() {
+			return status
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return sparkxd.JobStatus{}
+}
+
+// A fleet-dispatched pipeline job is leased, executed remotely, its
+// stage events are bridged into the coordinator's SSE feed, and its
+// artifacts land in the coordinator's store.
+func TestWorkerExecutesLeasedJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	srv, ts, _, _ := newFleet(t, 2)
+	status, _, err := srv.Submit(sparkxd.JobSpec{
+		Kind: sparkxd.JobPipeline, Stage: "train", Config: tinyConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, srv, status.ID)
+	if final.State != sparkxd.JobDone {
+		t.Fatalf("job failed: %s", final.Error)
+	}
+	key, ok := final.Artifacts["baseline"]
+	if !ok {
+		t.Fatalf("no baseline artifact (have %v)", final.Artifacts)
+	}
+	m, err := sparkxd.GetTrainedModel(srv.Store(), key)
+	if err != nil {
+		t.Fatalf("uploaded model unreadable: %v", err)
+	}
+	if m.Neurons != 40 || m.WeightCount() == 0 {
+		t.Errorf("uploaded model looks wrong: neurons=%d weights=%d", m.Neurons, m.WeightCount())
+	}
+
+	// The worker must have registered, and the job's event log must
+	// contain bridged engine events (stage "train"), not just the
+	// coordinator's own lifecycle markers.
+	workers := srv.Workers()
+	if len(workers) != 1 || workers[0].Name != "test-worker" {
+		t.Errorf("fleet registry = %+v, want one test-worker", workers)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + status.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stages []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev sparkxd.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", data, err)
+		}
+		stages = append(stages, ev.Stage+"/"+ev.Phase)
+	}
+	joined := strings.Join(stages, " ")
+	if !strings.Contains(joined, "job/leased") {
+		t.Errorf("event log missing lease marker: %v", stages)
+	}
+	if !strings.Contains(joined, "train/") {
+		t.Errorf("no bridged worker engine events in %v", stages)
+	}
+	if stages[len(stages)-1] != "job/done" {
+		t.Errorf("stream did not end with job/done: %v", stages)
+	}
+}
+
+// Cancelling the worker's context while a job is in flight drains: the
+// job completes normally inside the drain window rather than being
+// abandoned to lease expiry.
+func TestWorkerDrainCompletesInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	srv, _, _, stopWorker := newFleet(t, 1)
+	status, _, err := srv.Submit(sparkxd.JobSpec{
+		Kind: sparkxd.JobPipeline, Stage: "train", Config: tinyConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the lease to be taken, then signal the worker.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, _ := srv.Job(status.ID)
+		if st.State == sparkxd.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never leased")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stopWorker()
+	final := waitTerminal(t, srv, status.ID)
+	if final.State != sparkxd.JobDone {
+		t.Fatalf("drained job state = %s (%s), want done", final.State, final.Error)
+	}
+}

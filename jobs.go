@@ -262,6 +262,31 @@ func (s JobSpec) ID() (string, error) {
 	return key.Hash()[:32], nil
 }
 
+// JobRecordVersion is the schema version of persisted JobRecord
+// payloads; loaders reject records written by a future layout.
+const JobRecordVersion = 1
+
+// JobRecord is the durable outcome of one completed job: the persisted
+// `jobID → artifact keys` entry that lets a restarted server (or a
+// whole fleet sharing one store) serve a repeat submission from the
+// store instead of re-executing it. Records are stored like any other
+// artifact (KindJobRecord, content-addressed), and because execution is
+// deterministic in the spec, a re-executed job re-derives the identical
+// record — persisting it twice is a no-op.
+type JobRecord struct {
+	// Version is JobRecordVersion at write time.
+	Version int `json:"version"`
+	// JobID is the deterministic spec hash the record belongs to.
+	JobID string `json:"job_id"`
+	// State is the terminal state the job reached (only JobDone records
+	// are persisted today; the field future-proofs failure caching).
+	State JobState `json:"state"`
+	// Spec is the normalized spec the job executed.
+	Spec JobSpec `json:"spec"`
+	// Artifacts maps result roles to their content-addressed keys.
+	Artifacts map[string]ArtifactKey `json:"artifacts,omitempty"`
+}
+
 // StageRank returns a pipeline stage's position in PipelineStages, or
 // -1 for an unknown stage.
 func StageRank(stage string) int {
