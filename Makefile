@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt-check shard-smoke sweep-smoke serve-smoke fleet-smoke examples-smoke lint vuln ci
+.PHONY: build test race bench bench-record bench-check vet fmt-check shard-smoke sweep-smoke serve-smoke fleet-smoke examples-smoke lint vuln ci
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Quick-mode benchmark smoke run: every per-figure benchmark executes
-# exactly one iteration end to end.
+# Quick-mode benchmark smoke run: every benchmark executes exactly one
+# iteration end to end. This only proves the benchmarks still run; real
+# measurement is bench-record / bench-check below.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Measure the hot kernels with fixed iteration counts (-count=3,
+# min-of-runs) and rewrite the committed baseline BENCH_kernel.json.
+# Run on a quiet machine when a PR intentionally changes kernel perf,
+# then commit the diff.
+bench-record:
+	./scripts/bench-record.sh
+
+# Same measurement, gated against the committed baseline: fails if any
+# tracked benchmark's ns/op regressed more than 25% (override with
+# BENCH_TOLERANCE=<fraction>).
+bench-check:
+	./scripts/bench-check.sh
 
 # Exercise the scheduler's shard matrix the same way the CI does.
 shard-smoke: build

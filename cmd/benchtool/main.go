@@ -1,0 +1,112 @@
+// Command benchtool normalizes `go test -bench` output into the repo's
+// committed benchmark baseline and gates changes against it.
+//
+//	go test -bench ... | benchtool record -o BENCH_kernel.json
+//	go test -bench ... | benchtool check -baseline BENCH_kernel.json
+//
+// check exits non-zero when any baseline benchmark is missing from the
+// current run or its ns/op regressed beyond the tolerance (flag
+// -tolerance, overridable with the BENCH_TOLERANCE environment variable;
+// default 0.25 = 25%). Both subcommands aggregate min-of-runs, so feed
+// them -count=3 output. scripts/bench-record.sh and bench-check.sh wrap
+// the full pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"sparkxd/internal/benchfmt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fail("usage: benchtool {record|check} [flags] < bench-output")
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "check":
+		check(os.Args[2:])
+	default:
+		fail("benchtool: unknown subcommand %q (want record or check)", os.Args[1])
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "BENCH_kernel.json", "output baseline file")
+	_ = fs.Parse(args)
+
+	results, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fail("benchtool: parse: %v", err)
+	}
+	if len(results) == 0 {
+		fail("benchtool: no benchmark lines on stdin")
+	}
+	b := &benchfmt.Baseline{
+		Note:       "min-of-runs kernel benchmark baseline; regenerate with scripts/bench-record.sh",
+		Benchmarks: results,
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail("benchtool: %v", err)
+	}
+	if err := benchfmt.WriteBaseline(f, b); err != nil {
+		fail("benchtool: write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("benchtool: close: %v", err)
+	}
+	fmt.Printf("recorded %d benchmarks to %s\n", len(results), *out)
+}
+
+func check(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_kernel.json", "committed baseline file")
+	tol := fs.Float64("tolerance", defaultTolerance(), "allowed ns/op regression fraction")
+	_ = fs.Parse(args)
+
+	bf, err := os.Open(*basePath)
+	if err != nil {
+		fail("benchtool: %v", err)
+	}
+	base, err := benchfmt.ReadBaseline(bf)
+	bf.Close()
+	if err != nil {
+		fail("benchtool: %v", err)
+	}
+	current, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fail("benchtool: parse: %v", err)
+	}
+	deltas, ok := benchfmt.Compare(base, current, *tol)
+	fmt.Printf("benchmark gate: tolerance %.0f%%\n", *tol*100)
+	for _, d := range deltas {
+		fmt.Println("  " + d.Format())
+	}
+	if !ok {
+		fail("benchtool: gate FAILED (regression beyond tolerance or missing benchmark)")
+	}
+	fmt.Println("benchmark gate: PASS")
+}
+
+// defaultTolerance reads BENCH_TOLERANCE (a fraction, e.g. "0.25") so CI
+// can loosen or tighten the gate without editing the workflow.
+func defaultTolerance() float64 {
+	if s := os.Getenv("BENCH_TOLERANCE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v >= 0 {
+			return v
+		}
+		fmt.Fprintf(os.Stderr, "benchtool: ignoring invalid BENCH_TOLERANCE=%q\n", s)
+	}
+	return 0.25
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,180 @@
+// Package benchfmt parses `go test -bench` output and maintains the
+// repo's committed benchmark baseline (BENCH_kernel.json). It backs the
+// bench-record / bench-check scripts and the CI tolerance gate: record
+// normalizes raw benchmark output into a stable JSON trajectory point,
+// and Compare flags ns/op regressions beyond a tolerance.
+//
+// Aggregation is min-of-runs: benchmarks are run with fixed iteration
+// counts (-benchtime=Nx) and -count>1, and the fastest run is kept per
+// benchmark. On a noisy shared runner the minimum is the least-polluted
+// estimate of the kernel's true cost; means and maxima drift with
+// co-tenant load and would make the CI gate flaky.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's normalized measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the committed trajectory point: one Result per benchmark,
+// keyed by the bare benchmark name (GOMAXPROCS suffix stripped).
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and returns the min-of-runs Result
+// per benchmark. Lines that are not benchmark measurements are ignored.
+// A measurement line looks like:
+//
+//	BenchmarkLIFStep-4    2000    11426 ns/op    0 B/op    0 allocs/op
+//
+// The -4 procs suffix is stripped so baselines compare across machines.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		name, res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		prev, seen := out[name]
+		if !seen || res.NsPerOp < prev.NsPerOp {
+			out[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (string, Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var res Result
+	var haveNs bool
+	// Fields come in "<value> <unit>" pairs after the iteration count.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			haveNs = true
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		}
+	}
+	if !haveNs {
+		return "", Result{}, false
+	}
+	return name, res, true
+}
+
+// WriteBaseline serializes a baseline with stable key order and a
+// trailing newline, suitable for committing.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a committed baseline file.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("benchfmt: baseline: %w", err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: baseline has no benchmarks")
+	}
+	return &b, nil
+}
+
+// Delta is one benchmark's comparison against the baseline.
+type Delta struct {
+	Name      string
+	Base      Result
+	Current   Result
+	Ratio     float64 // current ns/op divided by baseline ns/op
+	Regress   bool    // ratio exceeds 1 + tolerance
+	Missing   bool    // present in baseline, absent from current run
+	Untracked bool    // present in current run, absent from baseline
+}
+
+// Compare checks current results against a baseline with the given
+// ns/op tolerance (0.25 = fail on >25% slowdown). Every baseline entry
+// must appear in the current run; extra current benchmarks are reported
+// as untracked but never fail the gate. Deltas are sorted by name.
+func Compare(base *Baseline, current map[string]Result, tolerance float64) (deltas []Delta, ok bool) {
+	ok = true
+	for name, b := range base.Benchmarks {
+		d := Delta{Name: name, Base: b}
+		cur, found := current[name]
+		if !found {
+			d.Missing = true
+			ok = false
+		} else {
+			d.Current = cur
+			if b.NsPerOp > 0 {
+				d.Ratio = cur.NsPerOp / b.NsPerOp
+			}
+			if d.Ratio > 1+tolerance {
+				d.Regress = true
+				ok = false
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	for name, cur := range current {
+		if _, tracked := base.Benchmarks[name]; !tracked {
+			deltas = append(deltas, Delta{Name: name, Current: cur, Untracked: true})
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, ok
+}
+
+// Format renders one delta as a fixed-width report line.
+func (d Delta) Format() string {
+	switch {
+	case d.Missing:
+		return fmt.Sprintf("%-28s MISSING (in baseline, not in current run)", d.Name)
+	case d.Untracked:
+		return fmt.Sprintf("%-28s %12.0f ns/op  (untracked: not in baseline)", d.Name, d.Current.NsPerOp)
+	default:
+		status := "ok"
+		if d.Regress {
+			status = "REGRESSION"
+		}
+		return fmt.Sprintf("%-28s %12.0f -> %12.0f ns/op  %+6.1f%%  %s",
+			d.Name, d.Base.NsPerOp, d.Current.NsPerOp, (d.Ratio-1)*100, status)
+	}
+}

@@ -1,0 +1,146 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: sparkxd
+cpu: some shared runner
+BenchmarkLIFStep-4          	    2000	     11426 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLIFStep-4          	    2000	     11120 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLIFStep-4          	    2000	     11893 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEvaluate-4         	      20	  14200000 ns/op	   99500 B/op	      28 allocs/op
+BenchmarkEvaluate-4         	      20	  14800000 ns/op	   99500 B/op	      28 allocs/op
+PASS
+ok  	sparkxd	12.3s
+`
+
+func TestParseMinOfRuns(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	lif := got["BenchmarkLIFStep"]
+	if lif.NsPerOp != 11120 {
+		t.Errorf("LIFStep min ns/op = %v, want 11120", lif.NsPerOp)
+	}
+	ev := got["BenchmarkEvaluate"]
+	if ev.NsPerOp != 14200000 || ev.BytesPerOp != 99500 || ev.AllocsPerOp != 28 {
+		t.Errorf("Evaluate = %+v", ev)
+	}
+}
+
+func TestParseIgnoresNonBenchmarkLines(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok sparkxd 1s\nBenchmarkBroken-4 oops\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage, want 0", len(got))
+	}
+}
+
+func TestBaselineRoundtrip(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Baseline{Note: "regen with scripts/bench-record.sh", Benchmarks: results}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Note != b.Note || len(back.Benchmarks) != len(b.Benchmarks) {
+		t.Fatalf("roundtrip mismatch: %+v", back)
+	}
+	if back.Benchmarks["BenchmarkLIFStep"] != b.Benchmarks["BenchmarkLIFStep"] {
+		t.Fatal("roundtrip changed a result")
+	}
+
+	// Serialization must be deterministic for clean diffs.
+	var buf2 bytes.Buffer
+	if err := WriteBaseline(&buf2, b); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() == "" || buf2.String() != bytesOf(b) {
+		t.Fatal("WriteBaseline not deterministic")
+	}
+}
+
+func bytesOf(b *Baseline) string {
+	var buf bytes.Buffer
+	_ = WriteBaseline(&buf, b)
+	return buf.String()
+}
+
+func TestReadBaselineRejectsEmpty(t *testing.T) {
+	if _, err := ReadBaseline(strings.NewReader(`{"note":"x"}`)); err == nil {
+		t.Fatal("empty baseline must error")
+	}
+	if _, err := ReadBaseline(strings.NewReader("not json")); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 1000},
+		"BenchmarkC": {NsPerOp: 1000},
+	}}
+	current := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1200}, // +20%: inside 25% tolerance
+		"BenchmarkB": {NsPerOp: 1300}, // +30%: regression
+		// BenchmarkC missing
+		"BenchmarkNew": {NsPerOp: 50}, // untracked, must not fail gate
+	}
+	deltas, ok := Compare(base, current, 0.25)
+	if ok {
+		t.Fatal("gate passed despite regression and missing benchmark")
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["BenchmarkA"].Regress {
+		t.Error("A within tolerance flagged as regression")
+	}
+	if !byName["BenchmarkB"].Regress {
+		t.Error("B +30% not flagged")
+	}
+	if !byName["BenchmarkC"].Missing {
+		t.Error("C not flagged missing")
+	}
+	if !byName["BenchmarkNew"].Untracked {
+		t.Error("new benchmark not flagged untracked")
+	}
+
+	// Ratios and formatting sanity.
+	if r := byName["BenchmarkB"].Ratio; r < 1.29 || r > 1.31 {
+		t.Errorf("B ratio = %v", r)
+	}
+	if !strings.Contains(byName["BenchmarkB"].Format(), "REGRESSION") {
+		t.Errorf("B format = %q", byName["BenchmarkB"].Format())
+	}
+
+	// Improvement-only run passes.
+	good := map[string]Result{
+		"BenchmarkA": {NsPerOp: 900},
+		"BenchmarkB": {NsPerOp: 1000},
+		"BenchmarkC": {NsPerOp: 1249},
+	}
+	if _, ok := Compare(base, good, 0.25); !ok {
+		t.Fatal("gate failed a within-tolerance run")
+	}
+}

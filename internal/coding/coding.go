@@ -55,6 +55,12 @@ func NewRate() Rate { return Rate{MaxProb: 0.12} }
 func (e Rate) Name() string { return fmt.Sprintf("rate-poisson(p=%.3g)", e.MaxProb) }
 
 // Encode implements Encoder.
+//
+// Spikes are accumulated into one flat arena with per-step offsets
+// instead of one growing slice per step: the same Bernoulli draws in the
+// same order produce the same train, but a 60-step encode performs a
+// handful of allocations instead of hundreds — encoding runs once per
+// sample per evaluation, so this is directly on the sweep hot path.
 func (e Rate) Encode(img []byte, steps int, r *rng.Stream) Train {
 	tr := make(Train, steps)
 	// Precompute per-pixel probabilities; skip dark pixels entirely.
@@ -63,20 +69,30 @@ func (e Rate) Encode(img []byte, steps int, r *rng.Stream) Train {
 		p   float64
 	}
 	hots := make([]hot, 0, len(img)/4)
+	expected := 0.0
 	for i, v := range img {
 		if v == 0 {
 			continue
 		}
-		hots = append(hots, hot{int32(i), float64(v) / 255 * e.MaxProb})
+		p := float64(v) / 255 * e.MaxProb
+		hots = append(hots, hot{int32(i), p})
+		expected += p
 	}
+	offs := make([]int, steps+1)
+	arena := make([]int32, 0, int(expected*float64(steps))+16)
 	for t := 0; t < steps; t++ {
-		var s []int32
 		for _, h := range hots {
 			if r.Bernoulli(h.p) {
-				s = append(s, h.idx)
+				arena = append(arena, h.idx)
 			}
 		}
-		tr[t] = s
+		offs[t+1] = len(arena)
+	}
+	for t := 0; t < steps; t++ {
+		if offs[t] == offs[t+1] {
+			continue // empty steps stay nil, as in the per-step form
+		}
+		tr[t] = arena[offs[t]:offs[t+1]:offs[t+1]]
 	}
 	return tr
 }

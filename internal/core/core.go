@@ -50,6 +50,11 @@ type Framework struct {
 	DeviceSeed uint64
 	// Format is the stored weight representation (FP32 in the paper).
 	Format quant.Format
+	// EvalWorkers parallelizes accuracy evaluations within one call
+	// (spike encoding and synaptic-drive accumulation fan out across
+	// goroutines; the theta-coupled neuron updates stay sequential).
+	// Accuracy is bit-identical for any value; <= 0 means GOMAXPROCS.
+	EvalWorkers int
 	// Observer, when non-nil, receives structured progress events from
 	// the training and analysis loops.
 	Observer Observer
@@ -150,7 +155,7 @@ func (f *Framework) EvaluateUnderErrorsCtx(ctx context.Context, net *snn.Network
 	if err := clone.SetWeightsFlat(w); err != nil {
 		panic("core: " + err.Error())
 	}
-	return clone.EvaluateCtx(ctx, test, rng.New(evalSeed))
+	return clone.EvaluateBatch(ctx, test, rng.New(evalSeed), f.EvalWorkers)
 }
 
 // TrainConfig parameterizes Algorithm 1 (fault-aware training).
@@ -225,7 +230,7 @@ func (f *Framework) ImproveErrorTolerance(ctx context.Context, baseline *snn.Net
 	}
 	root := rng.New(cfg.Seed)
 	evalSeed := root.Derive("eval").Uint64()
-	acc0, err := baseline.EvaluateCtx(ctx, test, rng.New(evalSeed))
+	acc0, err := baseline.EvaluateBatch(ctx, test, rng.New(evalSeed), f.EvalWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline evaluation: %w", err)
 	}
@@ -299,6 +304,13 @@ func (f *Framework) AnalyzeErrorTolerance(ctx context.Context, model *snn.Networ
 	evalSeed := root.Derive("eval").Uint64()
 	berTh := 0.0
 	var curve []RatePoint
+	// The model and the eval stream are fixed across the whole search —
+	// only the injected corruption changes per point — so one batched
+	// evaluator serves every rate: spike trains encode once and each
+	// point is a weight swap plus the neuron-dynamics pass. Bit-identical
+	// to evaluating a fresh clone per point (the Evaluator contract).
+	ev := snn.NewEvaluatorWorkers(model, f.EvalWorkers)
+	master := model.WeightsFlat()
 	for i, rate := range rates {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err // stop at a point boundary
@@ -307,8 +319,8 @@ func (f *Framework) AnalyzeErrorTolerance(ctx context.Context, model *snn.Networ
 		if err != nil {
 			return 0, nil, fmt.Errorf("core: profile at BER %.0e: %w", rate, err)
 		}
-		acc, err := f.EvaluateUnderErrorsCtx(ctx, model, test, layout, profile,
-			root.DeriveIndex("inject", i).Uint64(), evalSeed)
+		w, _ := f.CorruptWeights(master, layout, profile, rng.New(root.DeriveIndex("inject", i).Uint64()))
+		acc, err := ev.EvaluateWeights(ctx, test, w, rng.New(evalSeed))
 		if err != nil {
 			return 0, nil, fmt.Errorf("core: tolerance evaluation at BER %.0e: %w", rate, err)
 		}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"sparkxd/internal/core"
+	"sparkxd/internal/errmodel"
+	"sparkxd/internal/voltscale"
+)
+
+// TestSingleScenarioEvalWorkersInvariance pins the intra-evaluation
+// parallelism path: with one scenario and many workers, Run routes the
+// surplus workers into the drive-precompute evaluation pipeline
+// (evalWorkers = Workers / scenarios), and the result must be
+// byte-identical to the fully sequential sweep. The grid sweep test
+// keeps evalWorkers at 1, so this is the only coverage of that path at
+// the engine level.
+func TestSingleScenarioEvalWorkersInvariance(t *testing.T) {
+	net, test := testFixture(t)
+	ctx := context.Background()
+	spec := Spec{
+		Voltages: []float64{voltscale.V1025},
+		BERs:     []float64{1e-4},
+		Kinds:    []errmodel.Kind{errmodel.Model0},
+		Policies: []string{PolicyBaseline},
+		Seed:     11,
+		EvalSeed: 17,
+		Workers:  1,
+	}
+
+	one, err := New(core.NewFramework()).Run(ctx, net, test, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Fatalf("got %d results, want 1", len(one))
+	}
+	for _, workers := range []int{4, 8} {
+		spec.Workers = workers
+		many, err := New(core.NewFramework()).Run(ctx, net, test, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(one)
+		b, _ := json.Marshal(many)
+		if string(a) != string(b) {
+			t.Fatalf("Workers=1 and Workers=%d diverge on a single scenario:\n%s\n---\n%s", workers, a, b)
+		}
+	}
+
+	// Repeated runs on one engine share the encoded test set; results must
+	// not drift across reuse.
+	e := New(core.NewFramework())
+	spec.Workers = 8
+	first, err := e.Run(ctx, net, test, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Run(ctx, net, test, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if string(a) != string(b) {
+		t.Fatal("cached encoded set changed results across runs")
+	}
+}

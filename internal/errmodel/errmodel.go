@@ -220,14 +220,23 @@ type Injector struct {
 }
 
 // region is the portion of an image that lives in one subarray.
+//
+// The weak-cell sets are stored in injection-ready form: absBits holds
+// the absolute image bit index of every weak cell (Models 0 and 3), so
+// the per-flip unit/offset division happens once at Prepare instead of
+// on every injection pass; weakBLOff lists, per DRAM column, the weak
+// bit offsets within one unit in ascending order (Model1), so injection
+// visits only weak bitlines instead of probing a map for every bit; and
+// weakRow is a dense per-row flag slice (Model2).
 type region struct {
 	sub      dram.SubarrayID
 	ber      float64
 	unitIdx  []int32 // image column units in this subarray (image order)
 	bitsPer  int64   // bits per unit
 	weakBits []int64 // region-relative weak bit positions (Models 0 and 3)
-	weakBL   map[int]bool
-	weakWL   map[int]bool
+	absBits  []int64 // weakBits translated to absolute image bit indices
+	weakBLOf [][]int32
+	weakRow  []bool
 	rows     []int32 // per unit: row within subarray (Model2)
 	cols     []int32 // per unit: column within row (Model1)
 }
@@ -314,30 +323,65 @@ func (in *Injector) buildWeakSets(reg *region) {
 			seen[b] = struct{}{}
 			reg.weakBits = append(reg.weakBits, b)
 		}
+		// Resolve each weak bit to its absolute image position once, so
+		// Inject's hot loop is a Bernoulli draw and a FlipBit with no
+		// division. The sampled order is preserved: draw k of every
+		// injection pass maps to the same physical cell as before.
+		reg.absBits = make([]int64, len(reg.weakBits))
+		for k, wb := range reg.weakBits {
+			reg.absBits[k] = in.regionBitIndex(reg, wb)
+		}
 	case Model1:
 		// Weak bitlines: a bitline is one bit offset within the row
 		// (column*bitsPerUnit + bitInUnit). Cluster the same BER mass.
 		nBitlines := in.Profile.Geom.Columns * int(reg.bitsPer)
 		count := seedStream.Binomial(nBitlines, weakFrac)
-		reg.weakBL = make(map[int]bool, count)
+		weak := make([]bool, nBitlines)
 		for i := 0; i < count; i++ {
-			reg.weakBL[seedStream.Intn(nBitlines)] = true
+			weak[seedStream.Intn(nBitlines)] = true
+		}
+		// Per column, the ascending weak-bit offsets within one unit —
+		// injection then visits exactly the weak bitlines, in the same
+		// order the full 0..bitsPer scan used to find them.
+		reg.weakBLOf = make([][]int32, in.Profile.Geom.Columns)
+		for col := range reg.weakBLOf {
+			base := col * int(reg.bitsPer)
+			var offs []int32
+			for b := 0; b < int(reg.bitsPer); b++ {
+				if weak[base+b] {
+					offs = append(offs, int32(b))
+				}
+			}
+			reg.weakBLOf[col] = offs
 		}
 	case Model2:
 		// Weak wordlines: whole rows of the subarray.
 		nRows := in.Profile.Geom.Rows
 		count := seedStream.Binomial(nRows, weakFrac)
-		reg.weakWL = make(map[int]bool, count)
+		reg.weakRow = make([]bool, nRows)
 		for i := 0; i < count; i++ {
-			reg.weakWL[seedStream.Intn(nRows)] = true
+			reg.weakRow[seedStream.Intn(nRows)] = true
 		}
 	}
 }
+
+// wordlineMaskBytes bounds the stack-local flip mask a weak wordline is
+// accumulated into before being XORed into the image word-at-a-time;
+// units larger than this fall back to per-bit flips. 512 bytes covers
+// every geometry in the repo (units are one DRAM column, typically
+// 64–256 bytes).
+const wordlineMaskBytes = 512
 
 // Inject flips bits of img in place according to the model, profile, and
 // placement, and returns the number of flipped bits. The stream governs
 // which weak cells fail on this particular pass; weak-cell locations
 // themselves are fixed by the profile's device seed.
+//
+// The loops consume Bernoulli draws in exactly the order the original
+// scan-everything form did — one draw per weak cell visited in region /
+// unit / ascending-bit order — so flip patterns are bit-identical to it
+// for any given stream. Scratch state is stack-local: one Injector is
+// safely shared read-only by concurrent scenario workers.
 func (in *Injector) Inject(img []byte, pl Placement, r *rng.Stream) int64 {
 	if len(in.regions) == 0 {
 		in.Prepare(pl)
@@ -351,21 +395,24 @@ func (in *Injector) Inject(img []byte, pl Placement, r *rng.Stream) int64 {
 		}
 		switch in.Kind {
 		case Model0:
-			for _, wb := range reg.weakBits {
+			// absBits pre-resolves every weak cell's image position, so
+			// this — the paper-default model, run once per scenario per
+			// evaluation point — is one draw and at most one XOR per cell.
+			for _, bit := range reg.absBits {
 				if r.Bernoulli(actBase) {
-					in.flipRegionBit(img, reg, wb)
+					quant.FlipBit(img, bit)
 					flipped++
 				}
 			}
 		case Model3:
-			norm := 2 / (in.P1 + in.P0)
-			for _, wb := range reg.weakBits {
-				bit := in.regionBitIndex(reg, wb)
+			p1 := actBase * in.P1 * 2 / (in.P1 + in.P0)
+			p0 := actBase * in.P0 * 2 / (in.P1 + in.P0)
+			for _, bit := range reg.absBits {
 				var pAct float64
 				if quant.GetBit(img, bit) {
-					pAct = actBase * in.P1 * norm
+					pAct = p1
 				} else {
-					pAct = actBase * in.P0 * norm
+					pAct = p0
 				}
 				if r.Bernoulli(pAct) {
 					quant.FlipBit(img, bit)
@@ -374,23 +421,47 @@ func (in *Injector) Inject(img []byte, pl Placement, r *rng.Stream) int64 {
 			}
 		case Model1:
 			for ui := range reg.unitIdx {
-				colBase := int(reg.cols[ui]) * int(reg.bitsPer)
-				for b := int64(0); b < reg.bitsPer; b++ {
-					if reg.weakBL[colBase+int(b)] && r.Bernoulli(actBase) {
-						in.flipRegionBit(img, reg, int64(ui)*reg.bitsPer+b)
+				offs := reg.weakBLOf[reg.cols[ui]]
+				if len(offs) == 0 {
+					continue
+				}
+				unitBase := int64(reg.unitIdx[ui]) * reg.bitsPer
+				for _, b := range offs {
+					if r.Bernoulli(actBase) {
+						quant.FlipBit(img, unitBase+int64(b))
 						flipped++
 					}
 				}
 			}
 		case Model2:
+			// A weak wordline draws for every bit of the unit — dense
+			// enough that flips are accumulated into a stack mask and
+			// applied with one word-at-a-time XOR pass per unit.
+			unitBytes := int(reg.bitsPer) / 8
+			var maskArr [wordlineMaskBytes]byte
 			for ui := range reg.unitIdx {
-				if !reg.weakWL[int(reg.rows[ui])] {
+				if !reg.weakRow[reg.rows[ui]] {
 					continue
 				}
-				for b := int64(0); b < reg.bitsPer; b++ {
-					if r.Bernoulli(actBase) {
-						in.flipRegionBit(img, reg, int64(ui)*reg.bitsPer+b)
-						flipped++
+				if unitBytes <= len(maskArr) {
+					mask := maskArr[:unitBytes]
+					for i := range mask {
+						mask[i] = 0
+					}
+					for b := 0; b < int(reg.bitsPer); b++ {
+						if r.Bernoulli(actBase) {
+							mask[b>>3] |= 1 << uint(b&7)
+						}
+					}
+					byteBase := int(reg.unitIdx[ui]) * unitBytes
+					flipped += quant.XORInto(img[byteBase:byteBase+unitBytes], mask)
+				} else {
+					unitBase := int64(reg.unitIdx[ui]) * reg.bitsPer
+					for b := int64(0); b < reg.bitsPer; b++ {
+						if r.Bernoulli(actBase) {
+							quant.FlipBit(img, unitBase+b)
+							flipped++
+						}
 					}
 				}
 			}
@@ -404,10 +475,6 @@ func (in *Injector) Inject(img []byte, pl Placement, r *rng.Stream) int64 {
 func (in *Injector) regionBitIndex(reg *region, regionBit int64) int64 {
 	unit := reg.unitIdx[regionBit/reg.bitsPer]
 	return int64(unit)*reg.bitsPer + regionBit%reg.bitsPer
-}
-
-func (in *Injector) flipRegionBit(img []byte, reg *region, regionBit int64) {
-	quant.FlipBit(img, in.regionBitIndex(reg, regionBit))
 }
 
 // ExpectedFlips returns the expected number of flipped bits for an image

@@ -36,7 +36,11 @@ type sysEntry struct {
 }
 
 // NewSystems builds a cache whose engines run sweeps on a pool of
-// `workers` and report events through observer.
+// `workers` and report events through observer. The same budget also
+// parallelizes within single evaluations (batched spike encoding and
+// drive accumulation), so a lone big job on an idle worker process uses
+// every core instead of one; artifacts stay byte-identical for any
+// worker count.
 func NewSystems(workers int, observer func(fp string, ev sparkxd.Event)) *Systems {
 	if observer == nil {
 		observer = func(string, sparkxd.Event) {}

@@ -73,6 +73,12 @@ type Pool struct {
 
 	decayV     float32 // exp(-dt/tauM)
 	decayTheta float32 // exp(-dt/tauTheta)
+
+	// winnerStamp/stampGen implement Inhibit's O(N + winners) winner
+	// lookup: winnerStamp[j] == stampGen marks j a winner of the current
+	// Inhibit call, so no per-call clearing or allocation is needed.
+	winnerStamp []uint64
+	stampGen    uint64
 }
 
 // NewPool allocates a pool at resting state.
@@ -81,12 +87,13 @@ func NewPool(cfg LIFConfig) (*Pool, error) {
 		return nil, err
 	}
 	p := &Pool{
-		Cfg:        cfg,
-		V:          make([]float32, cfg.N),
-		Theta:      make([]float32, cfg.N),
-		refrac:     make([]int16, cfg.N),
-		decayV:     float32(math.Exp(-cfg.DT / cfg.TauM)),
-		decayTheta: float32(math.Exp(-cfg.DT / cfg.TauTheta)),
+		Cfg:         cfg,
+		V:           make([]float32, cfg.N),
+		Theta:       make([]float32, cfg.N),
+		refrac:      make([]int16, cfg.N),
+		winnerStamp: make([]uint64, cfg.N),
+		decayV:      float32(math.Exp(-cfg.DT / cfg.TauM)),
+		decayTheta:  float32(math.Exp(-cfg.DT / cfg.TauTheta)),
 	}
 	for i := range p.V {
 		p.V[i] = cfg.VRest
@@ -115,33 +122,56 @@ func (p *Pool) ResetAll() {
 // Step advances the pool one timestep. input[j] is the synaptic drive
 // accumulated for neuron j this step. spikesOut is an optional reusable
 // buffer; the returned slice lists the indices of neurons that fired.
+//
+// The loop is written for throughput — state slices and config scalars
+// are hoisted into locals so the compiler can keep them in registers and
+// elide bounds checks — but every floating-point operation happens in
+// the same order as the straightforward scalar form, so results are
+// bit-identical to it (TestStepMatchesScalarReference pins this).
 func (p *Pool) Step(input []float32, spikesOut []int32) []int32 {
-	if len(input) != p.Cfg.N {
+	n := p.Cfg.N
+	if len(input) != n {
 		panic("neuron: input length mismatch")
 	}
 	spikes := spikesOut[:0]
-	rest := p.Cfg.VRest
-	for j := range p.V {
+	V := p.V
+	theta := p.Theta
+	refrac := p.refrac
+	if len(V) != n || len(theta) != n || len(refrac) != n {
+		panic("neuron: state length mismatch")
+	}
+	var (
+		rest       = p.Cfg.VRest
+		reset      = p.Cfg.VReset
+		vth        = p.Cfg.VTh
+		floor      = p.Cfg.VFloor
+		thetaPlus  = p.Cfg.ThetaPlus
+		refSteps   = int16(p.Cfg.RefractorySteps)
+		decayV     = p.decayV
+		decayTheta = p.decayTheta
+	)
+	for j := 0; j < n; j++ {
 		// Theta decays every step regardless of refractory state.
-		p.Theta[j] *= p.decayTheta
+		th := theta[j] * decayTheta
+		theta[j] = th
 
-		if p.refrac[j] > 0 {
-			p.refrac[j]--
-			p.V[j] = p.Cfg.VReset
+		if refrac[j] > 0 {
+			refrac[j]--
+			V[j] = reset
 			continue
 		}
 		// Exponential leak toward rest, then integrate input.
-		v := rest + (p.V[j]-rest)*p.decayV + input[j]
-		if v < p.Cfg.VFloor {
-			v = p.Cfg.VFloor
+		v := rest + (V[j]-rest)*decayV + input[j]
+		if v < floor {
+			v = floor
 		}
-		if v >= p.Cfg.VTh+p.Theta[j] {
+		if v >= vth+th {
 			spikes = append(spikes, int32(j))
-			v = p.Cfg.VReset
-			p.refrac[j] = int16(p.Cfg.RefractorySteps)
-			p.Theta[j] += p.Cfg.ThetaPlus
+			v = reset
+			refrac[j] = refSteps
+			theta[j] = th + thetaPlus
 		}
-		p.V[j] = v
+		V[j] = v
 	}
 	return spikes
 }
@@ -151,27 +181,33 @@ func (p *Pool) Step(input []float32, spikesOut []int32) []int32 {
 // This is the paper's Fig. 4(a) inhibitory feedback loop, collapsed to
 // its effective one-step form (exc -> inh -> exc with one-to-one
 // excitation and all-to-others inhibition).
+//
+// Winners are marked in a generation-stamped scratch slice, making the
+// pass O(N + len(winners)) instead of O(N * len(winners)); the applied
+// arithmetic is unchanged, so membranes stay bit-identical to the
+// scalar form.
 func (p *Pool) Inhibit(winners []int32, strength float32) {
 	if len(winners) == 0 || strength == 0 {
 		return
 	}
-	isWinner := func(j int) bool {
-		for _, w := range winners {
-			if int(w) == j {
-				return true
-			}
-		}
-		return false
+	p.stampGen++
+	gen := p.stampGen
+	stamp := p.winnerStamp
+	for _, w := range winners {
+		stamp[w] = gen
 	}
-	for j := range p.V {
-		if isWinner(j) {
+	sub := strength * float32(len(winners))
+	floor := p.Cfg.VFloor
+	V := p.V
+	for j := range V {
+		if stamp[j] == gen {
 			continue
 		}
-		v := p.V[j] - strength*float32(len(winners))
-		if v < p.Cfg.VFloor {
-			v = p.Cfg.VFloor
+		v := V[j] - sub
+		if v < floor {
+			v = floor
 		}
-		p.V[j] = v
+		V[j] = v
 	}
 }
 

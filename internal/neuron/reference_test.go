@@ -1,0 +1,164 @@
+package neuron
+
+import (
+	"math"
+	"testing"
+
+	"sparkxd/internal/rng"
+)
+
+// refState is an independent copy of a pool's mutable state, advanced by
+// the reference kernels below.
+type refState struct {
+	V      []float32
+	Theta  []float32
+	refrac []int16
+}
+
+func refStateOf(p *Pool) *refState {
+	return &refState{
+		V:      append([]float32(nil), p.V...),
+		Theta:  append([]float32(nil), p.Theta...),
+		refrac: append([]int16(nil), p.refrac...),
+	}
+}
+
+// stepReference is the seed repo's scalar Pool.Step, kept verbatim as
+// the semantics oracle for the hoisted/branch-lean production loop. Any
+// change to Step must keep results bit-identical to this.
+func stepReference(cfg LIFConfig, s *refState, input []float32) []int32 {
+	decayV := float32(math.Exp(-cfg.DT / cfg.TauM))
+	decayTheta := float32(math.Exp(-cfg.DT / cfg.TauTheta))
+	var spikes []int32
+	rest := cfg.VRest
+	for j := range s.V {
+		s.Theta[j] *= decayTheta
+		if s.refrac[j] > 0 {
+			s.refrac[j]--
+			s.V[j] = cfg.VReset
+			continue
+		}
+		v := rest + (s.V[j]-rest)*decayV + input[j]
+		if v < cfg.VFloor {
+			v = cfg.VFloor
+		}
+		if v >= cfg.VTh+s.Theta[j] {
+			spikes = append(spikes, int32(j))
+			v = cfg.VReset
+			s.refrac[j] = int16(cfg.RefractorySteps)
+			s.Theta[j] += cfg.ThetaPlus
+		}
+		s.V[j] = v
+	}
+	return spikes
+}
+
+// inhibitReference is the seed repo's quadratic Inhibit, the oracle for
+// the generation-stamped O(N) form.
+func inhibitReference(cfg LIFConfig, s *refState, winners []int32, strength float32) {
+	if len(winners) == 0 || strength == 0 {
+		return
+	}
+	isWinner := func(j int) bool {
+		for _, w := range winners {
+			if int(w) == j {
+				return true
+			}
+		}
+		return false
+	}
+	for j := range s.V {
+		if isWinner(j) {
+			continue
+		}
+		v := s.V[j] - strength*float32(len(winners))
+		if v < cfg.VFloor {
+			v = cfg.VFloor
+		}
+		s.V[j] = v
+	}
+}
+
+func equalState(t *testing.T, step int, p *Pool, s *refState) {
+	t.Helper()
+	for j := range s.V {
+		if math.Float32bits(p.V[j]) != math.Float32bits(s.V[j]) {
+			t.Fatalf("step %d: V[%d] = %v, reference %v", step, j, p.V[j], s.V[j])
+		}
+		if math.Float32bits(p.Theta[j]) != math.Float32bits(s.Theta[j]) {
+			t.Fatalf("step %d: Theta[%d] = %v, reference %v", step, j, p.Theta[j], s.Theta[j])
+		}
+		if p.refrac[j] != s.refrac[j] {
+			t.Fatalf("step %d: refrac[%d] = %d, reference %d", step, j, p.refrac[j], s.refrac[j])
+		}
+	}
+}
+
+// TestStepMatchesScalarReference drives the production Step and the seed
+// scalar reference through identical randomized input sequences and
+// requires bit-identical membrane, threshold, refractory, and spike
+// trajectories — the regression guard for every future Step rewrite.
+func TestStepMatchesScalarReference(t *testing.T) {
+	cfg := DefaultLIF(97) // odd size exercises unroll tails downstream
+	cfg.VTh = 5.0
+	cfg.ThetaPlus = 0.5
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refStateOf(p)
+	r := rng.New(42)
+	input := make([]float32, cfg.N)
+	var spikeBuf []int32
+	for step := 0; step < 300; step++ {
+		for j := range input {
+			// Mostly subthreshold with occasional strong drive, so the
+			// trajectory visits spiking, refractory, and floor regimes.
+			input[j] = r.Float32() * 2
+			if r.Bernoulli(0.03) {
+				input[j] = 8 + r.Float32()*4
+			}
+			if r.Bernoulli(0.02) {
+				input[j] = -30 // slam into VFloor
+			}
+		}
+		got := p.Step(input, spikeBuf)
+		want := stepReference(cfg, ref, input)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d spikes, reference %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: spike[%d] = %d, reference %d", step, i, got[i], want[i])
+			}
+		}
+		equalState(t, step, p, ref)
+	}
+}
+
+// TestInhibitMatchesScalarReference pins the generation-stamped Inhibit
+// against the seed's quadratic winner scan, including repeated calls
+// (the stamp generation must not leak winners across calls).
+func TestInhibitMatchesScalarReference(t *testing.T) {
+	cfg := DefaultLIF(61)
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refStateOf(p)
+	r := rng.New(7)
+	input := make([]float32, cfg.N)
+	for step := 0; step < 120; step++ {
+		for j := range input {
+			input[j] = r.Float32() * 3
+			if r.Bernoulli(0.05) {
+				input[j] = 9
+			}
+		}
+		spikes := p.Step(input, nil)
+		refSpikes := stepReference(cfg, ref, input)
+		p.Inhibit(spikes, 1.5)
+		inhibitReference(cfg, ref, refSpikes, 1.5)
+		equalState(t, step, p, ref)
+	}
+}

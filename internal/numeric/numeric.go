@@ -164,6 +164,32 @@ func Fill32(x []float32, v float32) {
 	}
 }
 
+// AddTo computes dst[i] += src[i] for every element. It is the inner
+// kernel of the SNN's synaptic-drive accumulation (one call per active
+// input per timestep), unrolled over four-element blocks with explicit
+// capacity slicing so the compiler drops the per-element bounds checks.
+// Each dst element receives exactly one addition of the matching src
+// element, so results are bit-identical to the plain loop regardless of
+// the unroll factor.
+func AddTo(dst, src []float32) {
+	if len(src) != len(dst) {
+		panic("numeric: AddTo length mismatch")
+	}
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d := dst[i : i+4 : i+4]
+		s := src[i : i+4 : i+4]
+		d[0] += s[0]
+		d[1] += s[1]
+		d[2] += s[2]
+		d[3] += s[3]
+	}
+	for ; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
 // Sum returns the sum of x.
 func Sum(x []float32) float64 {
 	var s float64

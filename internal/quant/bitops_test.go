@@ -1,0 +1,84 @@
+package quant
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func naiveDiffBits(a, b []byte) int64 {
+	var n int64
+	for i := range a {
+		n += int64(bits.OnesCount8(a[i] ^ b[i]))
+	}
+	return n
+}
+
+// TestCountDiffBitsMatchesNaive sweeps lengths around the 8-byte word
+// boundary so both the word loop and the byte tail are exercised.
+func TestCountDiffBitsMatchesNaive(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100} {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		for i := 0; i < n; i++ {
+			a[i] = byte(i*31 + 7)
+			b[i] = byte(i*17 + 3)
+		}
+		if got, want := CountDiffBits(a, b), naiveDiffBits(a, b); got != want {
+			t.Errorf("len %d: CountDiffBits = %d, naive = %d", n, got, want)
+		}
+	}
+}
+
+func TestCountDiffBitsPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CountDiffBits(make([]byte, 3), make([]byte, 4))
+}
+
+// TestXORIntoMatchesFlipBit checks the word-at-a-time mask application
+// against per-bit FlipBit calls: same resulting image, returned count
+// equal to the mask popcount, at lengths covering word and tail paths.
+func TestXORIntoMatchesFlipBit(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 33, 100} {
+		dst := make([]byte, n)
+		ref := make([]byte, n)
+		mask := make([]byte, n)
+		for i := 0; i < n; i++ {
+			dst[i] = byte(i * 41)
+			ref[i] = dst[i]
+			mask[i] = byte(i*13 + 5)
+			if i%3 == 0 {
+				mask[i] = 0 // exercise the zero-word skip
+			}
+		}
+		want := naiveDiffBits(mask, make([]byte, n))
+		got := XORInto(dst, mask)
+		if got != want {
+			t.Errorf("len %d: XORInto returned %d, mask popcount %d", n, got, want)
+		}
+		for bit := int64(0); bit < int64(n)*8; bit++ {
+			if GetBit(mask, bit) {
+				FlipBit(ref, bit)
+			}
+		}
+		for i := range dst {
+			if dst[i] != ref[i] {
+				t.Fatalf("len %d: byte %d: XORInto %#x, FlipBit reference %#x", n, i, dst[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestXORIntoShorterMask(t *testing.T) {
+	dst := make([]byte, 10)
+	mask := []byte{0xff, 0x01}
+	if got := XORInto(dst, mask); got != 9 {
+		t.Fatalf("XORInto = %d, want 9", got)
+	}
+	if dst[0] != 0xff || dst[1] != 0x01 || dst[2] != 0 {
+		t.Fatal("XORInto must only touch the mask-covered prefix")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Format selects the stored representation of one weight.
@@ -134,23 +135,50 @@ func GetBit(img []byte, idx int64) bool {
 }
 
 // CountDiffBits returns the Hamming distance between two equal-length
-// images; it panics on length mismatch.
+// images; it panics on length mismatch. The comparison runs eight bytes
+// at a time with a hardware popcount, which matters because the sweep
+// engine diffs full multi-megabyte weight images once per scenario.
 func CountDiffBits(a, b []byte) int64 {
 	if len(a) != len(b) {
 		panic("quant: CountDiffBits length mismatch")
 	}
 	var n int64
-	for i := range a {
-		n += int64(popcount8(a[i] ^ b[i]))
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		n += int64(bits.OnesCount64(binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])))
+	}
+	for ; i < len(a); i++ {
+		n += int64(bits.OnesCount8(a[i] ^ b[i]))
 	}
 	return n
 }
 
-func popcount8(b byte) int {
-	n := 0
-	for b != 0 {
-		b &= b - 1
-		n++
+// XORInto flips dst ^= mask word-at-a-time and returns the number of
+// bits set in mask — i.e. the number of bits it flipped in dst. It is
+// the batch form of FlipBit used by dense error injection (a weak
+// wordline flips many bits of one column unit in one pass). It panics if
+// dst is shorter than mask.
+func XORInto(dst, mask []byte) int64 {
+	if len(dst) < len(mask) {
+		panic("quant: XORInto dst shorter than mask")
+	}
+	var n int64
+	i := 0
+	for ; i+8 <= len(mask); i += 8 {
+		m := binary.LittleEndian.Uint64(mask[i:])
+		if m == 0 {
+			continue
+		}
+		n += int64(bits.OnesCount64(m))
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^m)
+	}
+	for ; i < len(mask); i++ {
+		m := mask[i]
+		if m == 0 {
+			continue
+		}
+		n += int64(bits.OnesCount8(m))
+		dst[i] ^= m
 	}
 	return n
 }

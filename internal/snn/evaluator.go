@@ -10,23 +10,46 @@ import (
 // Evaluator measures one network's accuracy under many corrupted weight
 // images without per-image allocation — the batched evaluate entry point
 // of the scenario-sweep engine. It owns a single reusable clone of the
-// source network; each EvaluateWeights call restores the clone to the
-// source network's adaptive-threshold state before loading the weight
-// image, so repeated evaluations are bit-identical to evaluating a fresh
-// Clone each time (Pool.Step mutates Theta even during inference, which
-// would otherwise make results depend on evaluation order).
+// source network; each evaluation restores the clone to the source
+// network's adaptive-threshold state before loading the weight image, so
+// repeated evaluations are bit-identical to evaluating a fresh Clone each
+// time (Pool.Step mutates Theta even during inference, which would
+// otherwise make results depend on evaluation order).
+//
+// The evaluator also keeps a single-entry cache of the last encoded
+// dataset: spike trains depend only on (dataset, encoder, steps, stream
+// seed identity), all of which are shared across the weight images of a
+// sweep, so encoding — a large fraction of scalar evaluation time — runs
+// once per evaluator instead of once per weight image.
 //
 // An Evaluator is single-goroutine; create one per concurrent worker.
+// The workers count (NewEvaluatorWorkers) parallelizes WITHIN one
+// evaluation via the drive-precompute pipeline of EvaluateEncoded;
+// results are bit-identical for any value.
 type Evaluator struct {
-	clone *Network
-	theta []float32 // pristine adaptive thresholds of the source network
+	clone   *Network
+	theta   []float32 // pristine adaptive thresholds of the source network
+	workers int
+	enc     *EncodedSet
 }
 
 // NewEvaluator returns an evaluator over a private clone of n. Later
-// mutations of n do not affect the evaluator.
-func NewEvaluator(n *Network) *Evaluator {
+// mutations of n do not affect the evaluator. Evaluations run
+// single-threaded; use NewEvaluatorWorkers for intra-evaluation
+// parallelism.
+func NewEvaluator(n *Network) *Evaluator { return NewEvaluatorWorkers(n, 1) }
+
+// NewEvaluatorWorkers is NewEvaluator with intra-evaluation parallelism:
+// each evaluation encodes and accumulates synaptic drive on up to
+// workers goroutines (workers <= 0 means GOMAXPROCS). Accuracy is
+// bit-identical for any worker count.
+func NewEvaluatorWorkers(n *Network, workers int) *Evaluator {
 	c := n.Clone()
-	return &Evaluator{clone: c, theta: append([]float32(nil), c.Pool.Theta...)}
+	return &Evaluator{
+		clone:   c,
+		theta:   append([]float32(nil), c.Pool.Theta...),
+		workers: workers,
+	}
 }
 
 // EvaluateWeights loads the weight image w into the evaluator's clone
@@ -34,9 +57,47 @@ func NewEvaluator(n *Network) *Evaluator {
 // accuracy on ds. The result is identical to
 // n.Clone().SetWeightsFlat(w) + EvaluateCtx on a fresh clone.
 func (e *Evaluator) EvaluateWeights(ctx context.Context, ds *dataset.Dataset, w []float32, r *rng.Stream) (float64, error) {
+	return e.EvaluateBatch(ctx, ds, w, r)
+}
+
+// EvaluateBatch evaluates one weight image over every sample of ds as a
+// single batched job: spike trains come from the evaluator's encoded-set
+// cache (rebuilt only when the dataset or stream identity changes), and
+// drive accumulation fans out across the evaluator's workers while the
+// theta-chained neuron updates consume in sample order. Bit-identical to
+// EvaluateWeights on a fresh single-threaded evaluator.
+func (e *Evaluator) EvaluateBatch(ctx context.Context, ds *dataset.Dataset, w []float32, r *rng.Stream) (float64, error) {
+	es, err := e.encodedFor(ctx, ds, r)
+	if err != nil {
+		return 0, err
+	}
+	return e.EvaluateWeightsEncoded(ctx, es, w)
+}
+
+// EvaluateWeightsEncoded is EvaluateBatch against an externally built
+// encoded set — e.g. one shared by every worker of a sweep, so a grid of
+// hundreds of scenarios encodes the test set exactly once instead of
+// once per evaluator.
+func (e *Evaluator) EvaluateWeightsEncoded(ctx context.Context, es *EncodedSet, w []float32) (float64, error) {
 	copy(e.clone.Pool.Theta, e.theta)
 	if err := e.clone.SetWeightsFlat(w); err != nil {
 		return 0, err
 	}
-	return e.clone.EvaluateCtx(ctx, ds, r)
+	return e.clone.EvaluateEncoded(ctx, es, e.workers)
+}
+
+// encodedFor returns the cached encoded set if it matches (ds, r),
+// otherwise encodes ds and replaces the cache. DeriveIndex is a pure
+// function of the stream's seed words, so a matching seed identity
+// guarantees the cached trains equal the ones r would derive.
+func (e *Evaluator) encodedFor(ctx context.Context, ds *dataset.Dataset, r *rng.Stream) (*EncodedSet, error) {
+	if e.enc != nil && e.enc.Matches(&e.clone.Cfg, ds, r) {
+		return e.enc, nil
+	}
+	es, err := e.clone.EncodeDataset(ctx, ds, r, e.workers)
+	if err != nil {
+		return nil, err
+	}
+	e.enc = es
+	return es, nil
 }

@@ -120,6 +120,7 @@ type Network struct {
 	drive    []float32
 	spikeBuf []int32
 	counts   []int
+	driveBuf []float32 // EvaluateEncoded block scratch, reused across calls
 }
 
 // New builds a network with uniformly random initial weights, normalized
@@ -162,28 +163,32 @@ func (n *Network) present(tr coding.Train, learn bool) []int {
 	for j := range n.counts {
 		n.counts[j] = 0
 	}
-	for i := range n.xpre {
-		n.xpre[i] = 0
+	if learn {
+		for i := range n.xpre {
+			n.xpre[i] = 0
+		}
 	}
 	n.Pool.ResetState()
 
 	for t := 0; t < len(tr); t++ {
-		// Decay and update presynaptic traces.
-		for i := range n.xpre {
-			n.xpre[i] *= n.decayPre
-		}
 		active := tr[t]
-		for _, i := range active {
-			n.xpre[i] = 1
+		if learn {
+			// Decay and update presynaptic traces. Inference never reads
+			// the traces (they only feed STDP), so the whole per-step
+			// trace pass is skipped when not learning — the counts are
+			// unaffected.
+			for i := range n.xpre {
+				n.xpre[i] *= n.decayPre
+			}
+			for _, i := range active {
+				n.xpre[i] = 1
+			}
 		}
 
 		// Synaptic drive from this step's input spikes.
 		numeric.Fill32(n.drive, 0)
 		for _, i := range active {
-			row := n.W.Row(int(i))
-			for j, w := range row {
-				n.drive[j] += w
-			}
+			numeric.AddTo(n.drive, n.W.Row(int(i)))
 		}
 
 		spikes := n.Pool.Step(n.drive, n.spikeBuf)
@@ -298,7 +303,14 @@ func (n *Network) AssignLabelsCtx(ctx context.Context, ds *dataset.Dataset, r *r
 // Predict classifies one image using the assigned labels: the class whose
 // assigned neurons produced the highest mean spike count wins.
 func (n *Network) Predict(img []byte, r *rng.Stream) int {
-	counts := n.SpikeCounts(img, r)
+	tr := n.Cfg.Encoder.Encode(img, n.Cfg.Steps, r)
+	return n.classify(n.present(tr, false))
+}
+
+// classify scores one sample's per-neuron spike counts against the
+// assigned labels — the decision half of Predict, shared with the
+// batched evaluation path.
+func (n *Network) classify(counts []int) int {
 	var score [dataset.NumClasses]float64
 	var members [dataset.NumClasses]int
 	for j, c := range n.Assign {

@@ -179,7 +179,7 @@ func (p *Pipeline) AnalyzeTolerance(ctx context.Context) (*ToleranceReport, erro
 		// error-free accuracy; measure it with the schedule's eval
 		// stream, matching what ImproveTolerance would have used.
 		evalSeed := rng.New(cfg.trainSeed).Derive("eval").Uint64()
-		baselineAcc, err = m.net.Clone().EvaluateCtx(ctx, test, rng.New(evalSeed))
+		baselineAcc, err = m.net.Clone().EvaluateBatch(ctx, test, rng.New(evalSeed), p.sys.fw.EvalWorkers)
 		if err != nil {
 			return nil, wrapStage("analyze", err)
 		}

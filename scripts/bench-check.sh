@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# bench-check: run the kernel benchmarks and gate against the committed
+# baseline BENCH_kernel.json. Fails when any tracked benchmark's ns/op
+# regressed more than the tolerance (default 25%; override with
+# BENCH_TOLERANCE, a fraction, e.g. BENCH_TOLERANCE=0.40).
+#
+# Only slowdowns fail: improvements pass and should be captured by
+# re-running scripts/bench-record.sh in the PR that earns them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_kernel.json}"
+./scripts/bench-run.sh | tee /dev/stderr | go run ./cmd/benchtool check -baseline "$baseline"

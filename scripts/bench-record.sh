@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# bench-record: run the kernel benchmarks (scripts/bench-run.sh) and
+# normalize the result into the committed baseline BENCH_kernel.json
+# (min-of-runs ns/op, B/op, allocs/op per benchmark).
+#
+# Run this on a quiet machine when a PR intentionally changes kernel
+# performance, review the diff, and commit the updated baseline. CI's
+# bench job compares every build against the committed file with
+# scripts/bench-check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_kernel.json}"
+./scripts/bench-run.sh | tee /dev/stderr | go run ./cmd/benchtool record -o "$out"

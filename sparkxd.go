@@ -85,6 +85,10 @@ func New(opts ...Option) (*System, error) {
 	fw.Spread = cfg.spread
 	fw.DeviceSeed = cfg.deviceSeed
 	fw.Format = cfg.format
+	// The sweep worker budget also parallelizes within single accuracy
+	// evaluations (pipeline stages, tolerance analysis) — accuracy is
+	// bit-identical for any value, so this only changes speed.
+	fw.EvalWorkers = cfg.sweepWorkers
 	fw.Observer = cfg.observer
 	if err := fw.Validate(); err != nil {
 		return nil, fmt.Errorf("sparkxd: %w", err)
