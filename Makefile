@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-record bench-check vet fmt-check shard-smoke sweep-smoke serve-smoke fleet-smoke examples-smoke lint vuln ci
+.PHONY: build test race bench bench-record bench-check vet fmt-check shard-smoke sweep-smoke serve-smoke fleet-smoke loadgen-smoke examples-smoke lint vuln ci
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,13 @@ serve-smoke: build
 fleet-smoke: build
 	./scripts/fleet-smoke.sh
 
+# Observability/admission smoke: coordinator with tight per-submitter
+# rate limiting + two workers with /metrics endpoints, driven by
+# `sparkxd loadgen`; asserts a clean v1 report (0 failed, 429s retried
+# to completion) and nonzero lease/latency series on /metrics.
+loadgen-smoke: build
+	./scripts/loadgen-smoke.sh
+
 # Run every example and both CLIs end to end on tiny budgets, including
 # the persist-then-resume artifact round-trip of `sparkxd single`.
 examples-smoke: build
@@ -90,4 +97,4 @@ lint:
 vuln:
 	govulncheck ./...
 
-ci: build vet fmt-check race bench examples-smoke sweep-smoke serve-smoke fleet-smoke
+ci: build vet fmt-check race bench examples-smoke sweep-smoke serve-smoke fleet-smoke loadgen-smoke

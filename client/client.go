@@ -48,9 +48,11 @@ var (
 
 // Client talks to one sparkxd job server.
 type Client struct {
-	base string
-	hc   *http.Client
-	poll time.Duration
+	base       string
+	hc         *http.Client
+	poll       time.Duration
+	submitter  string
+	onThrottle func(delay time.Duration)
 }
 
 // Option configures a Client.
@@ -65,6 +67,20 @@ func WithHTTPClient(hc *http.Client) Option {
 // from here; see Wait).
 func WithPollInterval(d time.Duration) Option {
 	return func(c *Client) { c.poll = d }
+}
+
+// WithSubmitter names this client for the server's per-submitter
+// admission control (the X-Sparkxd-Submitter header). Unnamed clients
+// are bucketed by remote IP.
+func WithSubmitter(name string) Option {
+	return func(c *Client) { c.submitter = name }
+}
+
+// WithThrottleHook registers fn to be called with the chosen backoff
+// delay every time the server answers 429 (before the client sleeps
+// and retries). Load generators use it to count throttles.
+func WithThrottleHook(fn func(delay time.Duration)) Option {
+	return func(c *Client) { c.onThrottle = fn }
 }
 
 // waitPlan is Wait's backoff schedule: polls start at initial and grow
@@ -418,34 +434,80 @@ func fetch[T any](ctx context.Context, c *Client, key sparkxd.ArtifactKey, wantK
 	return &v, nil
 }
 
-// do performs one JSON request/response round trip.
+// do performs one JSON request/response round trip. A 429 answer is
+// retried (not surfaced): the request is replayed after the larger of
+// the server's Retry-After and the jittered exponential backoff, until
+// the context is cancelled. Every request in this API is idempotent —
+// submission by deterministic job ID, the rest read-only — so replaying
+// is always safe.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return fmt.Errorf("client: %w", err)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("client: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return c.errorFrom(resp)
-	}
-	if out == nil {
+	plan := waitPlan{initial: 100 * time.Millisecond, max: 5 * time.Second, factor: 1.6, jitter: 0.2}
+	backoff := plan.initial
+	for {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.submitter != "" {
+			req.Header.Set("X-Sparkxd-Submitter", c.submitter)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			delay := plan.jittered(backoff)
+			if retryAfter > delay {
+				delay = retryAfter
+			}
+			backoff = plan.next(backoff)
+			if c.onThrottle != nil {
+				c.onThrottle(delay)
+			}
+			timer := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return fmt.Errorf("client: throttled by server: %w", ctx.Err())
+			case <-timer.C:
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return c.errorFrom(resp)
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decode response: %w", err)
+		}
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode response: %w", err)
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form (the
+// only form the sparkxd server emits); 0 when absent or unparsable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
 	}
-	return nil
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // errorFrom turns a non-2xx response into a typed error.

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sparkxd"
 	"sparkxd/client"
@@ -316,5 +317,84 @@ func TestInvalidSpecRejected(t *testing.T) {
 	c := newClient(t)
 	if _, err := c.Submit(ctx, sparkxd.JobSpec{Kind: "compile"}); err == nil {
 		t.Error("invalid spec must be rejected")
+	}
+}
+
+// A throttled submission (429 + Retry-After) is retried transparently:
+// the client sleeps at least the advertised delay, reports each throttle
+// through the hook, tags requests with the submitter header, and the
+// call ultimately succeeds without the caller seeing the 429s.
+func TestSubmitRetriesAfter429(t *testing.T) {
+	var requests atomic.Int32
+	status := sparkxd.JobStatus{ID: "job-1", State: sparkxd.JobQueued}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("X-Sparkxd-Submitter"); got != "loadgen-7" {
+			t.Errorf("submitter header = %q, want loadgen-7", got)
+		}
+		switch requests.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"throttled"}`, http.StatusTooManyRequests)
+		case 2:
+			// No Retry-After: the client falls back to its own backoff.
+			http.Error(w, `{"error":"throttled"}`, http.StatusTooManyRequests)
+		default:
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(status)
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	var throttles []time.Duration
+	c, err := client.New(ts.URL,
+		client.WithSubmitter("loadgen-7"),
+		client.WithThrottleHook(func(d time.Duration) { throttles = append(throttles, d) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got, err := c.Submit(context.Background(), tinySweepSpec())
+	if err != nil {
+		t.Fatalf("Submit after 429s: %v", err)
+	}
+	if got.ID != status.ID {
+		t.Errorf("status ID = %q, want %q", got.ID, status.ID)
+	}
+	if n := requests.Load(); n != 3 {
+		t.Errorf("server saw %d requests, want 3", n)
+	}
+	if len(throttles) != 2 {
+		t.Fatalf("throttle hook fired %d times, want 2", len(throttles))
+	}
+	if throttles[0] < time.Second {
+		t.Errorf("first delay %s ignored Retry-After: 1", throttles[0])
+	}
+	if throttles[1] <= 0 {
+		t.Errorf("second delay %s not positive", throttles[1])
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("Submit returned after %s, before the advertised Retry-After", elapsed)
+	}
+}
+
+// A context cancelled mid-throttle aborts the retry loop promptly.
+func TestThrottleRetryHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"error":"throttled"}`, http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Submit(ctx, tinySweepSpec()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled submit did not return promptly")
 	}
 }

@@ -71,6 +71,8 @@ Commands:
             upload, complete
   job       talk to a running job service (submit, status, wait,
             events, fetch)
+  loadgen   drive a running job service with concurrent closed-loop
+            clients and print a JSON latency/throughput report
   help      show this message
 
 Run "sparkxd <command> -h" for the command's flags.
@@ -105,6 +107,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runWorker(ctx, args[1:], stdout, stderr)
 	case "job":
 		return runJob(ctx, args[1:], stdout, stderr)
+	case "loadgen":
+		return runLoadgen(ctx, args[1:], stdout, stderr)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0

@@ -35,6 +35,9 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		dispatch = fs.String("dispatch", "local", "who executes jobs: local, fleet (remote workers only), or hybrid")
 		leaseTTL = fs.Duration("lease-ttl", server.DefaultLeaseTTL, "worker lease TTL (silent workers expire and their jobs requeue)")
 		drain    = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled server waits for in-flight jobs before requeueing them")
+		maxWarm  = fs.Int("max-warm-systems", 0, "bound on cached warm System engines, LRU-evicted (0 = unbounded)")
+		rate     = fs.Float64("rate", 0, "per-submitter job submissions per second before 429 (0 = no admission control)")
+		burst    = fs.Int("burst", 0, "admission token-bucket burst (0 = max(1, rate))")
 		quiet    = fs.Bool("quiet", false, "suppress job lifecycle logs on stderr")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
@@ -62,11 +65,14 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		logf = nil
 	}
 	srv, err := server.New(server.Config{
-		Store:    st,
-		Workers:  *workers,
-		Dispatch: mode,
-		LeaseTTL: *leaseTTL,
-		Logf:     logf,
+		Store:          st,
+		Workers:        *workers,
+		Dispatch:       mode,
+		LeaseTTL:       *leaseTTL,
+		MaxWarmSystems: *maxWarm,
+		Rate:           *rate,
+		Burst:          *burst,
+		Logf:           logf,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)

@@ -5,6 +5,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"time"
 
 	"sparkxd/internal/worker"
@@ -24,6 +26,8 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		name    = fs.String("name", "", "worker name (default <hostname>-<pid>)")
 		poll    = fs.Duration("poll", 500*time.Millisecond, "idle lease poll interval")
 		drain   = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled worker keeps finishing in-flight jobs")
+		maxWarm = fs.Int("max-warm-systems", 0, "bound on cached warm System engines, LRU-evicted (0 = unbounded)")
+		metrics = fs.String("metrics", "", "serve Prometheus metrics on this address (host:port; port 0 picks a free port; empty = off)")
 		quiet   = fs.Bool("quiet", false, "suppress lease lifecycle logs on stderr")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
@@ -37,16 +41,30 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		logf = nil
 	}
 	w, err := worker.New(worker.Config{
-		Coordinator:  *join,
-		Name:         *name,
-		Slots:        *workers,
-		Poll:         *poll,
-		DrainTimeout: *drain,
-		Logf:         logf,
+		Coordinator:    *join,
+		Name:           *name,
+		Slots:          *workers,
+		Poll:           *poll,
+		DrainTimeout:   *drain,
+		MaxWarmSystems: *maxWarm,
+		Logf:           logf,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "sparkxd worker: %v\n", err)
 		return 2
+	}
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "sparkxd worker: metrics listen: %v\n", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", w.MetricsHandler())
+		ms := &http.Server{Handler: mux}
+		go func() { _ = ms.Serve(ln) }()
+		defer ms.Close()
+		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", ln.Addr())
 	}
 	fmt.Fprintf(stdout, "worker %s joining %s\n", w.Name(), *join)
 	if err := w.Run(ctx); err != nil {

@@ -60,6 +60,10 @@ type Grant struct {
 // for this worker right now).
 type LeaseResponse struct {
 	Leases []Grant `json:"leases"`
+	// QueueDepth is how many jobs remain queued on the coordinator
+	// after these grants — a backlog signal workers surface on their
+	// own /metrics endpoints.
+	QueueDepth int `json:"queue_depth"`
 }
 
 // RenewResponse acknowledges a heartbeat with the refreshed TTL.

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"sparkxd"
 )
@@ -20,16 +21,34 @@ import (
 // profiles, and sweep caches are derived once per configuration per
 // process. The observer receives every engine event tagged with the
 // owning fingerprint (for per-job fanout).
+//
+// The cache is optionally bounded: with MaxWarm > 0 it keeps at most
+// that many engines, evicting the least-recently-acquired unpinned one
+// when a new fingerprint arrives. Entries are pinned while a job runs
+// on them (Acquire pins, the returned release unpins), so an engine is
+// never dropped out from under live execution — when every entry is
+// pinned the cache temporarily exceeds its bound rather than stalling.
+// Eviction is safe by construction: a re-acquired fingerprint rebuilds
+// the System from the same ConfigSpec, and because construction is
+// deterministic in the spec, the rebuilt engine produces byte-identical
+// artifacts (pinned by TestEvictedFingerprintRebuildsIdentically).
 type Systems struct {
 	workers  int
+	maxWarm  int // 0 = unbounded (the pre-bound behavior)
 	observer func(fp string, ev sparkxd.Event)
 
 	mu      sync.Mutex
 	entries map[string]*sysEntry
+	order   []string // LRU order: least recently acquired first
+	hits    uint64
+	misses  uint64
+	evicted uint64
 }
 
 // sysEntry lazily builds one shared System per config fingerprint.
 type sysEntry struct {
+	fp   string
+	pins int // live Acquires; evictable only at zero
 	once sync.Once
 	sys  *sparkxd.System
 	err  error
@@ -40,55 +59,183 @@ type sysEntry struct {
 // parallelizes within single evaluations (batched spike encoding and
 // drive accumulation), so a lone big job on an idle worker process uses
 // every core instead of one; artifacts stay byte-identical for any
-// worker count.
-func NewSystems(workers int, observer func(fp string, ev sparkxd.Event)) *Systems {
+// worker count. maxWarm bounds the number of cached engines (0 keeps
+// the cache unbounded).
+func NewSystems(workers, maxWarm int, observer func(fp string, ev sparkxd.Event)) *Systems {
 	if observer == nil {
 		observer = func(string, sparkxd.Event) {}
 	}
-	return &Systems{workers: workers, observer: observer, entries: make(map[string]*sysEntry)}
+	if maxWarm < 0 {
+		maxWarm = 0
+	}
+	return &Systems{
+		workers:  workers,
+		maxWarm:  maxWarm,
+		observer: observer,
+		entries:  make(map[string]*sysEntry),
+	}
 }
 
-// For returns (building once) the shared System of one configuration
-// fingerprint.
-func (c *Systems) For(fp string, cfg sparkxd.ConfigSpec) (*sparkxd.System, error) {
+// Acquire returns (building once) the shared System of one
+// configuration fingerprint, pinned against eviction until release is
+// called. release is always non-nil and safe to call exactly once;
+// callers should defer it around the job's execution.
+func (c *Systems) Acquire(fp string, cfg sparkxd.ConfigSpec) (sys *sparkxd.System, release func(), err error) {
 	c.mu.Lock()
 	ent, ok := c.entries[fp]
-	if !ok {
-		ent = &sysEntry{}
+	if ok {
+		c.hits++
+		c.touchLocked(fp)
+	} else {
+		c.misses++
+		ent = &sysEntry{fp: fp}
 		c.entries[fp] = ent
+		c.order = append(c.order, fp)
+	}
+	ent.pins++
+	if !ok {
+		c.evictLocked()
 	}
 	c.mu.Unlock()
+
 	ent.once.Do(func() {
 		opts, err := cfg.Options()
 		if err != nil {
-			ent.err = err
+			c.setBuiltLocked(ent, nil, err)
 			return
 		}
 		opts = append(opts,
 			sparkxd.WithSweepWorkers(c.workers),
 			sparkxd.WithObserver(func(ev sparkxd.Event) { c.observer(fp, ev) }),
 		)
-		ent.sys, ent.err = sparkxd.New(opts...)
+		s, err := sparkxd.New(opts...)
+		c.setBuiltLocked(ent, s, err)
 	})
-	return ent.sys, ent.err
+
+	var relOnce sync.Once
+	release = func() {
+		relOnce.Do(func() {
+			c.mu.Lock()
+			ent.pins--
+			c.evictLocked()
+			c.mu.Unlock()
+		})
+	}
+	return ent.sys, release, ent.err
 }
+
+// setBuiltLocked records a build result under the lock so concurrent
+// stats readers (which iterate entries) never race the builder.
+func (c *Systems) setBuiltLocked(ent *sysEntry, sys *sparkxd.System, err error) {
+	c.mu.Lock()
+	ent.sys, ent.err = sys, err
+	c.mu.Unlock()
+}
+
+// touchLocked moves fp to the most-recently-used end. Caller holds
+// c.mu.
+func (c *Systems) touchLocked(fp string) {
+	for i, f := range c.order {
+		if f == fp {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), fp)
+			return
+		}
+	}
+}
+
+// evictLocked drops least-recently-acquired unpinned entries until the
+// cache respects its bound (or only pinned entries remain). Caller
+// holds c.mu.
+func (c *Systems) evictLocked() {
+	if c.maxWarm <= 0 {
+		return
+	}
+	for len(c.entries) > c.maxWarm {
+		victim := -1
+		for i, fp := range c.order {
+			if c.entries[fp].pins == 0 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return // everything pinned: exceed the bound rather than stall
+		}
+		fp := c.order[victim]
+		c.order = append(c.order[:victim:victim], c.order[victim+1:]...)
+		delete(c.entries, fp)
+		c.evicted++
+	}
+}
+
+// Len returns how many engines are currently cached.
+func (c *Systems) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// MaxWarm returns the configured bound (0 = unbounded).
+func (c *Systems) MaxWarm() int { return c.maxWarm }
+
+// Stats returns the cumulative acquire hit/miss and eviction counts.
+func (c *Systems) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted
+}
+
+// SweepCacheStats aggregates the device-profile cache counters of every
+// currently cached engine (System.SweepCacheStats). Evicted engines
+// take their counts with them, so this tracks the live working set.
+func (c *Systems) SweepCacheStats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ent := range c.entries {
+		if ent.sys == nil {
+			continue
+		}
+		h, m := ent.sys.SweepCacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// StageObserver receives the wall-clock duration of each completed
+// pipeline stage a job executes (metrics wiring; nil disables).
+type StageObserver func(stage string, d time.Duration)
 
 // Produce runs spec's work on sys and returns the artifact values
 // keyed by their result role ("baseline", "improved", "tolerance",
 // "placement", "evaluation", "energy", "sweep"). The caller persists
 // them (locally or by uploading to the coordinator); every returned
-// value is accepted by sparkxd.PutArtifact.
-func Produce(ctx context.Context, sys *sparkxd.System, spec sparkxd.JobSpec) (map[string]any, error) {
+// value is accepted by sparkxd.PutArtifact. observe, when non-nil,
+// receives per-stage wall-clock durations.
+func Produce(ctx context.Context, sys *sparkxd.System, spec sparkxd.JobSpec, observe StageObserver) (map[string]any, error) {
+	timed := func(stage string, run func(context.Context) error) error {
+		start := time.Now()
+		err := run(ctx)
+		if observe != nil && err == nil {
+			observe(stage, time.Since(start))
+		}
+		return err
+	}
 	p := sys.Pipeline()
 	switch spec.Kind {
 	case sparkxd.JobSweep:
-		if _, err := p.Train(ctx); err != nil {
+		if err := timed("train", func(ctx context.Context) error { _, err := p.Train(ctx); return err }); err != nil {
 			return nil, err
 		}
-		if _, err := p.ImproveTolerance(ctx); err != nil {
+		if err := timed("improve", func(ctx context.Context) error { _, err := p.ImproveTolerance(ctx); return err }); err != nil {
 			return nil, err
 		}
-		rep, err := p.Sweep(ctx, *spec.Sweep)
+		var rep *sparkxd.SweepReport
+		err := timed("sweep", func(ctx context.Context) error {
+			var err error
+			rep, err = p.Sweep(ctx, *spec.Sweep)
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +261,7 @@ func Produce(ctx context.Context, sys *sparkxd.System, spec sparkxd.JobSpec) (ma
 			if i > target {
 				break
 			}
-			if err := st.run(ctx); err != nil {
+			if err := timed(st.name, st.run); err != nil {
 				return nil, fmt.Errorf("stage %s: %w", st.name, err)
 			}
 		}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SubmitterHeader names the request header a client may set to identify
+// itself for per-submitter admission control. Without it, submissions
+// are bucketed by remote IP.
+const SubmitterHeader = "X-Sparkxd-Submitter"
+
+// admitterPruneAt bounds the bucket table: past this many submitters
+// the admit path drops every bucket that has fully refilled (an idle
+// submitter's bucket carries no state worth keeping — a fresh bucket
+// behaves identically).
+const admitterPruneAt = 1024
+
+// admitter is a per-submitter token bucket: each POST /v1/jobs spends
+// one token, tokens refill at rate per second up to burst. A drained
+// bucket means 429 with a Retry-After telling the client when the next
+// token arrives.
+type admitter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test seam
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newAdmitter returns nil (admission disabled) unless rate is positive.
+// burst <= 0 defaults to max(1, rate): one second of traffic.
+func newAdmitter(rate float64, burst int) *admitter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Max(1, rate)
+	}
+	return &admitter{
+		rate:    rate,
+		burst:   b,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// admit spends one token from key's bucket. When the bucket is dry it
+// returns ok=false and how long until a full token has refilled.
+func (a *admitter) admit(key string) (ok bool, retryAfter time.Duration) {
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, found := a.buckets[key]
+	if !found {
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[key] = b
+		if len(a.buckets) > admitterPruneAt {
+			a.pruneLocked(now)
+		}
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(a.burst, b.tokens+elapsed*a.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / a.rate * float64(time.Second))
+}
+
+// pruneLocked drops buckets that have refilled completely; their state
+// is indistinguishable from a fresh bucket. Caller holds a.mu.
+func (a *admitter) pruneLocked(now time.Time) {
+	for key, b := range a.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*a.rate >= a.burst {
+			delete(a.buckets, key)
+		}
+	}
+}
+
+// submitterKey identifies the client a submission is billed to: the
+// explicit SubmitterHeader when present, otherwise the remote IP.
+func submitterKey(r *http.Request) string {
+	if v := r.Header.Get(SubmitterHeader); v != "" {
+		return v
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up so clients never retry early, floored at 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

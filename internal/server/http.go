@@ -11,6 +11,7 @@ import (
 
 	"sparkxd"
 	"sparkxd/internal/fleetapi"
+	"sparkxd/internal/metrics"
 	"sparkxd/internal/store"
 )
 
@@ -38,7 +39,13 @@ const maxUploadBytes = 256 << 20
 //	POST   /v1/leases/{id}/events   bridge worker events into the SSE feed
 //	POST   /v1/leases/{id}/complete finish a leased job
 //	DELETE /v1/leases/{id}          release a lease (requeue the job)
-//	GET    /v1/healthz              liveness probe (+ dispatch/fleet info)
+//	GET    /v1/healthz              liveness probe (dispatch mode, queue
+//	                                depth, registered-worker count)
+//	GET    /metrics                 Prometheus text-format metrics
+//
+// When admission control is enabled (Config.Rate > 0), POST /v1/jobs
+// may answer 429 with a Retry-After header; all other routes are never
+// throttled.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -55,8 +62,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleLeaseComplete)
 	mux.HandleFunc("DELETE /v1/leases/{id}", s.handleLeaseRelease)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	return mux
 }
+
+// Metrics exposes the server's registry (worker-side and test use).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }
 
 // apiError is the JSON error body of every non-2xx response.
 type apiError struct {
@@ -77,26 +88,39 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"dispatch": string(s.dispatch),
-		"workers":  len(s.Workers()),
+		"status":      "ok",
+		"dispatch":    string(s.dispatch),
+		"workers":     len(s.Workers()),
+		"queue_depth": s.QueueDepth(),
 	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.admit != nil {
+		if ok, retry := s.admit.admit(submitterKey(r)); !ok {
+			s.metrics.submitted.With("throttled").Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+			writeError(w, http.StatusTooManyRequests, "submission rate limit exceeded; retry in %ds", retryAfterSeconds(retry))
+			return
+		}
+	}
 	var spec sparkxd.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		s.metrics.submitted.With("invalid").Inc()
 		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
 		return
 	}
 	status, created, err := s.Submit(spec)
 	if err != nil {
 		code := http.StatusInternalServerError
+		result := "error"
 		if errors.Is(err, sparkxd.ErrInvalidJobSpec) {
 			code = http.StatusBadRequest
+			result = "invalid"
 		}
+		s.metrics.submitted.With(result).Inc()
 		writeError(w, code, "%v", err)
 		return
 	}
@@ -149,6 +173,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	s.metrics.sse.Add(1)
+	defer s.metrics.sse.Add(-1)
 
 	for {
 		evs, next, terminal, notify, ok := s.eventsSince(id, sent)
@@ -277,7 +303,7 @@ func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, fleetapi.LeaseResponse{Leases: grants})
+	writeJSON(w, http.StatusOK, fleetapi.LeaseResponse{Leases: grants, QueueDepth: s.QueueDepth()})
 }
 
 func (s *Server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {

@@ -85,6 +85,8 @@ func (s *Server) AcquireLeases(worker string, capacity int) ([]fleetapi.Grant, e
 		grants []fleetapi.Grant
 		keep   []*jobRec
 	)
+	// Grants follow the same aged-priority order as local dispatch.
+	s.sortQueueLocked(time.Now())
 	// Exclusion must never starve a job: if every worker seen alive
 	// recently has an expired lease on it, the exclusion set has lost its
 	// meaning (nobody else will come) and is wiped so the fleet retries.
@@ -118,6 +120,7 @@ func (s *Server) AcquireLeases(worker string, capacity int) ([]fleetapi.Grant, e
 		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "leased",
 			Message: fmt.Sprintf("worker %s (lease %s)", worker, l.id)})
 		s.logf("job %s leased to worker %s (%s)", rec.status.ID, worker, l.id)
+		s.metrics.leaseOps.With("grant").Inc()
 		grants = append(grants, fleetapi.Grant{
 			LeaseID:   l.id,
 			JobID:     rec.status.ID,
@@ -140,6 +143,7 @@ func (s *Server) RenewLease(id string) (time.Duration, error) {
 	}
 	l.expires = time.Now().Add(s.leaseTTL)
 	s.touchWorkerLocked(l.worker, 0)
+	s.metrics.leaseOps.With("renew").Inc()
 	return s.leaseTTL, nil
 }
 
@@ -155,6 +159,7 @@ func (s *Server) ReleaseLease(id string) error {
 	}
 	delete(s.leases, id)
 	s.touchWorkerLocked(l.worker, 0)
+	s.metrics.leaseOps.With("release").Inc()
 	s.requeueLocked(l.rec, fmt.Sprintf("released by worker %s", l.worker))
 	return nil
 }
@@ -200,6 +205,7 @@ func (s *Server) CompleteLease(id string, arts map[string]sparkxd.ArtifactKey, f
 	}
 	delete(s.leases, id)
 	s.touchWorkerLocked(l.worker, 0)
+	s.metrics.leaseOps.With("complete").Inc()
 	rec := l.rec
 	rec.leaseID = ""
 	if rec.status.State.Terminal() {
@@ -210,12 +216,14 @@ func (s *Server) CompleteLease(id string, arts map[string]sparkxd.ArtifactKey, f
 		rec.status.State = sparkxd.JobFailed
 		rec.status.Error = failure
 		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "failed", Message: failure})
+		s.metrics.observeTerminal(rec, "failed", "fleet")
 		s.logf("job %s failed on worker %s: %s", rec.status.ID, l.worker, failure)
 		s.mu.Unlock()
 		return nil
 	}
 	rec.status.State = sparkxd.JobDone
 	rec.status.Artifacts = arts
+	s.metrics.observeTerminal(rec, "done", "fleet")
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "done",
 		Message: fmt.Sprintf("%d artifacts (worker %s)", len(arts), l.worker)})
 	s.logf("job %s done on worker %s (%d artifacts)", rec.status.ID, l.worker, len(arts))
@@ -277,6 +285,7 @@ func (s *Server) expireLeases(now time.Time) {
 			continue
 		}
 		delete(s.leases, id)
+		s.metrics.leaseOps.With("expire").Inc()
 		rec := l.rec
 		if rec.excluded == nil {
 			rec.excluded = make(map[string]bool)

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"time"
+
+	"sparkxd"
+	"sparkxd/internal/metrics"
+	"sparkxd/internal/store"
+)
+
+// serverMetrics is the coordinator's instrument set, exposed at
+// GET /metrics in Prometheus text format. Naming follows DESIGN.md §11:
+// everything under the sparkxd_ prefix, _total counters, _seconds
+// histograms on the shared DefLatencyBuckets ladder.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	// submitted counts POST /v1/jobs outcomes by result:
+	// created | duplicate | throttled | invalid | error.
+	submitted *metrics.CounterVec
+	// completed counts jobs reaching a terminal state, by outcome
+	// (done | failed) and executor (local | fleet).
+	completed *metrics.CounterVec
+	requeued  *metrics.Counter
+	// jobLatency is submit-to-terminal wall time by job kind. Requeues
+	// do not reset the clock: the latency a client sees is measured
+	// from first submission.
+	jobLatency *metrics.HistogramVec
+	// stageDur times individual pipeline stages (jobrun.Produce).
+	stageDur *metrics.HistogramVec
+	// leaseOps counts lease-protocol transitions:
+	// grant | renew | expire | release | complete.
+	leaseOps *metrics.CounterVec
+	sse      *metrics.Gauge
+	storeOps *metrics.CounterVec
+}
+
+// newServerMetrics builds the registry and binds the read-through
+// instruments (queue depth, warm-engine cache, fleet size) to live
+// server state; they are sampled at scrape time under s.mu.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg: r,
+		submitted: r.NewCounterVec("sparkxd_jobs_submitted_total",
+			"Job submissions by result.", "result"),
+		completed: r.NewCounterVec("sparkxd_jobs_completed_total",
+			"Jobs reaching a terminal state, by outcome and executor.", "outcome", "executor"),
+		requeued: r.NewCounter("sparkxd_jobs_requeued_total",
+			"Jobs returned to the queue (lease expiry, release, drain, shutdown)."),
+		jobLatency: r.NewHistogramVec("sparkxd_job_latency_seconds",
+			"Submit-to-terminal latency by job kind.", metrics.DefLatencyBuckets, "kind"),
+		stageDur: r.NewHistogramVec("sparkxd_job_stage_duration_seconds",
+			"Wall time of locally executed pipeline stages.", metrics.DefLatencyBuckets, "stage"),
+		leaseOps: r.NewCounterVec("sparkxd_leases_total",
+			"Lease-protocol operations.", "op"),
+		sse: r.NewGauge("sparkxd_sse_subscribers",
+			"Live server-sent-event subscriber connections."),
+		storeOps: r.NewCounterVec("sparkxd_store_ops_total",
+			"Artifact store operations through the server.", "op"),
+	}
+	r.NewGaugeFunc("sparkxd_queue_depth",
+		"Jobs queued and not yet claimed by any executor.",
+		func() float64 { return float64(s.QueueDepth()) })
+	r.NewGaugeFunc("sparkxd_jobs_inflight",
+		"Jobs executing right now (local pool slots plus live leases).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.inflight + len(s.leases))
+		})
+	r.NewGaugeFunc("sparkxd_workers_registered",
+		"Fleet workers that have ever registered with this coordinator.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.fleet))
+		})
+	r.NewGaugeFunc("sparkxd_warm_systems",
+		"Warm System engines currently cached (bounded by -max-warm-systems).",
+		func() float64 { return float64(s.systems.Len()) })
+	r.NewCounterFunc("sparkxd_warm_systems_hits_total",
+		"Warm-System cache acquisitions served by an existing engine.",
+		func() uint64 { h, _, _ := s.systems.Stats(); return h })
+	r.NewCounterFunc("sparkxd_warm_systems_misses_total",
+		"Warm-System cache acquisitions that built a new engine.",
+		func() uint64 { _, m, _ := s.systems.Stats(); return m })
+	r.NewCounterFunc("sparkxd_warm_systems_evictions_total",
+		"Warm System engines evicted by the LRU bound.",
+		func() uint64 { _, _, e := s.systems.Stats(); return e })
+	r.NewCounterFunc("sparkxd_sweep_profile_cache_hits_total",
+		"Device-profile sweep cache hits across cached engines (SweepCacheStats).",
+		func() uint64 { h, _ := s.systems.SweepCacheStats(); return h })
+	r.NewCounterFunc("sparkxd_sweep_profile_cache_misses_total",
+		"Device-profile sweep cache misses across cached engines (SweepCacheStats).",
+		func() uint64 { _, m := s.systems.SweepCacheStats(); return m })
+	return m
+}
+
+// observeStage is the jobrun.StageObserver of locally executed jobs.
+func (m *serverMetrics) observeStage(stage string, d time.Duration) {
+	m.stageDur.With(stage).Observe(d.Seconds())
+}
+
+// observeTerminal records a terminal transition: outcome counter plus
+// submit-to-terminal latency (skipped for jobs restored from persisted
+// records, whose queuedAt is unknown).
+func (m *serverMetrics) observeTerminal(rec *jobRec, outcome, executor string) {
+	m.completed.With(outcome, executor).Inc()
+	if !rec.queuedAt.IsZero() {
+		m.jobLatency.With(rec.status.Spec.Kind).Observe(time.Since(rec.queuedAt).Seconds())
+	}
+}
+
+// meteredStore wraps the server's artifact store, counting gets and
+// puts (including job-record persistence and worker uploads).
+type meteredStore struct {
+	sparkxd.ArtifactStore
+	ops *metrics.CounterVec
+}
+
+func (m meteredStore) Put(kind string, payload any) (store.Key, error) {
+	m.ops.With("put").Inc()
+	return m.ArtifactStore.Put(kind, payload)
+}
+
+func (m meteredStore) Get(key store.Key) (*store.Envelope, error) {
+	m.ops.With("get").Inc()
+	return m.ArtifactStore.Get(key)
+}

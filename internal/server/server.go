@@ -86,6 +86,15 @@ type Config struct {
 	// LeaseTTL bounds how long a worker may go silent before its leases
 	// expire and their jobs requeue (zero: DefaultLeaseTTL).
 	LeaseTTL time.Duration
+	// MaxWarmSystems bounds the warm-System engine cache; 0 keeps it
+	// unbounded (every configuration fingerprint stays warm forever).
+	MaxWarmSystems int
+	// Rate enables per-submitter admission control on POST /v1/jobs:
+	// each submitter may sustain Rate submissions per second (bursting
+	// to Burst) before receiving 429 + Retry-After. 0 disables it.
+	Rate float64
+	// Burst is the admission token-bucket capacity (<= 0: max(1, Rate)).
+	Burst int
 	// Logf, when non-nil, receives one line per job state transition.
 	Logf func(format string, args ...any)
 }
@@ -115,7 +124,11 @@ type Server struct {
 	running  map[string]map[*jobRec]struct{} // config fingerprint -> jobs executing now
 	leases   map[string]*lease
 	leaseSeq uint64
+	jobSeq   uint64                 // submission order (priority tiebreak)
 	fleet    map[string]*workerInfo // worker name -> registration/presence
+
+	metrics *serverMetrics
+	admit   *admitter // nil: admission control disabled
 
 	// cache persists across execution batches so sched jobs can share
 	// single-flight artifacts the way the experiment suite does.
@@ -139,6 +152,13 @@ type jobRec struct {
 	events  []sparkxd.Event
 	dropped int           // events trimmed off the front of the log
 	notify  chan struct{} // closed and replaced on every update
+
+	// seq is the submission order (priority tiebreak); queuedAt is the
+	// first submission time — requeues keep it, so waiting jobs age
+	// upward in priority and the latency histogram measures what the
+	// client actually waited. Zero for jobs restored from records.
+	seq      uint64
+	queuedAt time.Time
 
 	leaseID  string          // active lease ("" when unleased)
 	excluded map[string]bool // workers whose lease on this job expired
@@ -200,7 +220,12 @@ func New(cfg Config) (*Server, error) {
 		fleet:    make(map[string]*workerInfo),
 		cache:    sched.NewCache(),
 	}
-	s.systems = jobrun.NewSystems(workers, s.fanout)
+	s.systems = jobrun.NewSystems(workers, cfg.MaxWarmSystems, s.fanout)
+	s.metrics = newServerMetrics(s)
+	// Meter the store after metrics exist; every Get/Put from here on
+	// (job records, artifacts, worker uploads) is counted.
+	s.st = meteredStore{ArtifactStore: s.st, ops: s.metrics.storeOps}
+	s.admit = newAdmitter(cfg.Rate, cfg.Burst)
 	s.loadRecords()
 	if dispatch != DispatchFleet {
 		s.wg.Add(1)
@@ -291,17 +316,22 @@ func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if rec, ok := s.jobs[id]; ok {
+		s.metrics.submitted.With("duplicate").Inc()
 		return copyStatus(rec.status), false, nil
 	}
 	if s.closed {
 		return sparkxd.JobStatus{}, false, fmt.Errorf("server closed")
 	}
+	s.jobSeq++
 	rec := &jobRec{
-		status: sparkxd.JobStatus{ID: id, State: sparkxd.JobQueued, Spec: norm},
-		fp:     fp,
-		cost:   float64(norm.Config.Neurons),
-		notify: make(chan struct{}),
+		status:   sparkxd.JobStatus{ID: id, State: sparkxd.JobQueued, Spec: norm},
+		fp:       fp,
+		cost:     float64(norm.Config.Neurons),
+		notify:   make(chan struct{}),
+		seq:      s.jobSeq,
+		queuedAt: time.Now(),
 	}
+	s.metrics.submitted.With("created").Inc()
 	s.jobs[id] = rec
 	s.queue = append(s.queue, rec)
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "queued", Message: id})
@@ -334,6 +364,13 @@ func (s *Server) Jobs() []sparkxd.JobStatus {
 	}
 	sortStatuses(out)
 	return out
+}
+
+// QueueDepth reports how many jobs are queued and unclaimed.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
 }
 
 // eventsSince returns the job's events from absolute index `from` on
@@ -450,17 +487,49 @@ func (s *Server) dispatchLoop() {
 	}
 }
 
-// takeQueued claims jobs for local execution. In hybrid mode batches
-// are bounded by the pool size so queued work stays leasable by fleet
-// workers between batches; in local mode the whole queue is claimed.
+// agingQuantum is how much queue wait buys one priority step: a
+// priority-0 job that has waited 5 quanta dispatches ahead of a fresh
+// priority-4 job, so a heavy high-priority submitter cannot starve the
+// rest of the queue indefinitely.
+const agingQuantum = 5 * time.Second
+
+// effPriority is a job's aged dispatch priority at time now.
+func effPriority(rec *jobRec, now time.Time) int {
+	p := rec.status.Spec.Priority
+	if !rec.queuedAt.IsZero() {
+		p += int(now.Sub(rec.queuedAt) / agingQuantum)
+	}
+	return p
+}
+
+// sortQueueLocked orders the queue for dispatch: aged priority
+// descending, then submission order. Sorting happens at claim time (not
+// insert time) because age shifts effective priorities while jobs wait.
+// Caller holds s.mu.
+func (s *Server) sortQueueLocked(now time.Time) {
+	sort.SliceStable(s.queue, func(a, b int) bool {
+		pa, pb := effPriority(s.queue[a], now), effPriority(s.queue[b], now)
+		if pa != pb {
+			return pa > pb
+		}
+		return s.queue[a].seq < s.queue[b].seq
+	})
+}
+
+// takeQueued claims jobs for local execution in aged-priority order.
+// Batches are bounded by the pool size — in hybrid mode so queued work
+// stays leasable by fleet workers between batches, and in local mode so
+// later-arriving high-priority jobs sort ahead of the backlog at the
+// next batch boundary instead of waiting out the whole queue.
 func (s *Server) takeQueued() []*jobRec {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.draining {
 		return nil
 	}
+	s.sortQueueLocked(time.Now())
 	n := len(s.queue)
-	if s.dispatch == DispatchHybrid && n > s.workers {
+	if n > s.workers {
 		n = s.workers
 	}
 	batch := s.queue[:n:n]
@@ -519,14 +588,16 @@ func (s *Server) execute(rec *jobRec) {
 
 // run performs the job's work and returns the artifact role map.
 func (s *Server) run(rec *jobRec) (map[string]sparkxd.ArtifactKey, error) {
-	sys, err := s.systems.For(rec.fp, rec.status.Spec.Config)
+	sys, release, err := s.systems.Acquire(rec.fp, rec.status.Spec.Config)
 	if err != nil {
+		release()
 		return nil, err
 	}
+	defer release()
 	s.markRunningOn(rec)
 	defer s.unmarkRunningOn(rec)
 
-	produced, err := jobrun.Produce(s.ctx, sys, rec.status.Spec)
+	produced, err := jobrun.Produce(s.ctx, sys, rec.status.Spec, s.metrics.observeStage)
 	if err != nil {
 		return nil, err
 	}
@@ -600,12 +671,14 @@ func (s *Server) finish(rec *jobRec, arts map[string]sparkxd.ArtifactKey, err er
 		rec.status.State = sparkxd.JobFailed
 		rec.status.Error = err.Error()
 		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "failed", Message: err.Error()})
+		s.metrics.observeTerminal(rec, "failed", "local")
 		s.logf("job %s failed: %v", rec.status.ID, err)
 		s.mu.Unlock()
 		return
 	}
 	rec.status.State = sparkxd.JobDone
 	rec.status.Artifacts = arts
+	s.metrics.observeTerminal(rec, "done", "local")
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "done",
 		Message: fmt.Sprintf("%d artifacts", len(arts))})
 	s.logf("job %s done (%d artifacts)", rec.status.ID, len(arts))
@@ -619,6 +692,7 @@ func (s *Server) finish(rec *jobRec, arts map[string]sparkxd.ArtifactKey, err er
 func (s *Server) requeueLocked(rec *jobRec, msg string) {
 	rec.leaseID = ""
 	rec.status.State = sparkxd.JobQueued
+	s.metrics.requeued.Inc()
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "requeued", Message: msg})
 	s.queue = append([]*jobRec{rec}, s.queue...)
 	select {

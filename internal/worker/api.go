@@ -50,11 +50,11 @@ func (c *coordClient) register(ctx context.Context, name string, slots int) (fle
 }
 
 // acquire leases up to capacity queued jobs.
-func (c *coordClient) acquire(ctx context.Context, name string, capacity int) ([]fleetapi.Grant, error) {
+func (c *coordClient) acquire(ctx context.Context, name string, capacity int) (fleetapi.LeaseResponse, error) {
 	var resp fleetapi.LeaseResponse
 	err := c.do(ctx, http.MethodPost, "/v1/leases",
 		fleetapi.LeaseRequest{Worker: name, Capacity: capacity}, &resp)
-	return resp.Leases, err
+	return resp, err
 }
 
 // renew heartbeats one lease.

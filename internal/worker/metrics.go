@@ -1,0 +1,77 @@
+package worker
+
+import (
+	"net/http"
+	"time"
+
+	"sparkxd/internal/metrics"
+)
+
+// workerMetrics is the worker's instrument set, served by
+// MetricsHandler on a local address (the worker has no public API; the
+// endpoint exists purely for scraping). Names follow DESIGN.md §11 with
+// a sparkxd_worker_ prefix for worker-specific series; the warm-System
+// cache instruments reuse the coordinator's names — same cache, same
+// meaning, different process.
+type workerMetrics struct {
+	reg *metrics.Registry
+
+	// heartbeats counts lease renewals by outcome: ok | lost | error
+	// (transport failure; the lease may still be alive).
+	heartbeats *metrics.CounterVec
+	// jobs counts leased executions by outcome:
+	// done | failed | released | abandoned.
+	jobs *metrics.CounterVec
+	// uploadBytes totals artifact envelope bytes PUT to the coordinator.
+	uploadBytes *metrics.Counter
+	// stageDur times pipeline stages executed by this worker.
+	stageDur *metrics.HistogramVec
+	// queueDepth mirrors the coordinator backlog from the latest lease
+	// response (a scheduling signal, not local state).
+	queueDepth *metrics.Gauge
+}
+
+func newWorkerMetrics(w *Worker) *workerMetrics {
+	r := metrics.NewRegistry()
+	m := &workerMetrics{
+		reg: r,
+		heartbeats: r.NewCounterVec("sparkxd_worker_heartbeats_total",
+			"Lease renewals by outcome.", "outcome"),
+		jobs: r.NewCounterVec("sparkxd_worker_jobs_total",
+			"Leased job executions by outcome.", "outcome"),
+		uploadBytes: r.NewCounter("sparkxd_worker_upload_bytes_total",
+			"Artifact envelope bytes uploaded to the coordinator."),
+		stageDur: r.NewHistogramVec("sparkxd_job_stage_duration_seconds",
+			"Wall time of pipeline stages executed by this worker.", metrics.DefLatencyBuckets, "stage"),
+		queueDepth: r.NewGauge("sparkxd_worker_coordinator_queue_depth",
+			"Coordinator queue depth reported by the latest lease response."),
+	}
+	r.NewGaugeFunc("sparkxd_worker_leases_held",
+		"Leased jobs executing right now.",
+		func() float64 { return float64(w.runningCount()) })
+	r.NewGaugeFunc("sparkxd_worker_slots",
+		"Configured concurrent execution slots.",
+		func() float64 { return float64(w.slots) })
+	r.NewGaugeFunc("sparkxd_warm_systems",
+		"Warm System engines currently cached (bounded by -max-warm-systems).",
+		func() float64 { return float64(w.systems.Len()) })
+	r.NewCounterFunc("sparkxd_warm_systems_hits_total",
+		"Warm-System cache acquisitions served by an existing engine.",
+		func() uint64 { h, _, _ := w.systems.Stats(); return h })
+	r.NewCounterFunc("sparkxd_warm_systems_misses_total",
+		"Warm-System cache acquisitions that built a new engine.",
+		func() uint64 { _, m, _ := w.systems.Stats(); return m })
+	r.NewCounterFunc("sparkxd_warm_systems_evictions_total",
+		"Warm System engines evicted by the LRU bound.",
+		func() uint64 { _, _, e := w.systems.Stats(); return e })
+	return m
+}
+
+// observeStage is the jobrun.StageObserver of this worker's jobs.
+func (m *workerMetrics) observeStage(stage string, d time.Duration) {
+	m.stageDur.With(stage).Observe(d.Seconds())
+}
+
+// MetricsHandler serves the worker's Prometheus metrics; mount it on a
+// local listener (`sparkxd worker -metrics`).
+func (w *Worker) MetricsHandler() http.Handler { return w.metrics.reg.Handler() }

@@ -42,6 +42,9 @@ type Config struct {
 	// GOMAXPROCS). Each job's sweep stage additionally fans out on the
 	// local internal/sched pool sized by the same value.
 	Slots int
+	// MaxWarmSystems bounds the warm-System engine cache; 0 keeps it
+	// unbounded (mirrors the coordinator's -max-warm-systems).
+	MaxWarmSystems int
 	// Poll is how long an idle worker waits between lease requests
 	// (zero: 500ms).
 	Poll time.Duration
@@ -68,6 +71,8 @@ type Worker struct {
 	api           *coordClient
 
 	ttl time.Duration // coordinator's lease TTL (learned at register)
+
+	metrics *workerMetrics
 
 	mu      sync.Mutex
 	running int
@@ -157,7 +162,8 @@ func New(cfg Config) (*Worker, error) {
 		api:           api,
 		byFP:          make(map[string]map[*task]struct{}),
 	}
-	w.systems = jobrun.NewSystems(slots, w.fanout)
+	w.systems = jobrun.NewSystems(slots, cfg.MaxWarmSystems, w.fanout)
+	w.metrics = newWorkerMetrics(w)
 	return w, nil
 }
 
@@ -186,12 +192,15 @@ func (w *Worker) Run(ctx context.Context) error {
 	for ctx.Err() == nil {
 		granted := 0
 		if free := w.freeSlots(); free > 0 {
-			grants, err := w.api.acquire(ctx, w.name, free)
+			resp, err := w.api.acquire(ctx, w.name, free)
 			if err != nil {
 				if ctx.Err() == nil {
 					w.logf("lease request: %v", err)
 				}
+			} else {
+				w.metrics.queueDepth.Set(int64(resp.QueueDepth))
 			}
+			grants := resp.Leases
 			for _, g := range grants {
 				g := g
 				w.addRunning(1)
@@ -298,22 +307,26 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 	go func() { defer close(flushDone); w.flushLoop(t, stopFlush) }()
 
 	var produced map[string]any
-	sys, err := w.systems.For(fp, g.Spec.Config)
+	sys, release, err := w.systems.Acquire(fp, g.Spec.Config)
 	if err == nil {
 		func() {
+			defer release()
 			defer func() {
 				if r := recover(); r != nil {
 					err = fmt.Errorf("panic: %v", r)
 				}
 			}()
-			produced, err = jobrun.Produce(ctx, sys, g.Spec)
+			produced, err = jobrun.Produce(ctx, sys, g.Spec, w.metrics.observeStage)
 		}()
+	} else {
+		release()
 	}
 	close(stopFlush)
 	<-flushDone
 	w.flushEvents(t) // final batch, best-effort
 
 	if t.isLost() {
+		w.metrics.jobs.With("abandoned").Inc()
 		w.logf("job %s: lease lost, abandoning result", g.JobID)
 		return
 	}
@@ -326,6 +339,7 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 		if rerr := w.api.release(opCtx, g.LeaseID); rerr != nil && !errors.Is(rerr, ErrLeaseLost) {
 			w.logf("job %s: release: %v", g.JobID, rerr)
 		}
+		w.metrics.jobs.With("released").Inc()
 		w.logf("job %s: released (worker shutting down)", g.JobID)
 		return
 	}
@@ -356,10 +370,13 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 		uerr := w.api.putArtifact(opCtx, sparkxd.ArtifactKey(key), envelope)
 		opCancel()
 		if uerr != nil {
+			w.metrics.jobs.With("abandoned").Inc()
 			w.logf("job %s: upload %s: %v (abandoning; lease will expire)", g.JobID, key, uerr)
 			return
 		}
+		w.metrics.uploadBytes.Add(uint64(len(envelope)))
 		if t.isLost() {
+			w.metrics.jobs.With("abandoned").Inc()
 			w.logf("job %s: lease lost mid-upload, abandoning result", g.JobID)
 			return
 		}
@@ -376,12 +393,16 @@ func (w *Worker) completeWith(t *task, arts map[string]sparkxd.ArtifactKey, fail
 	err := w.api.complete(opCtx, t.grant.LeaseID, arts, failure)
 	switch {
 	case errors.Is(err, ErrLeaseLost):
+		w.metrics.jobs.With("abandoned").Inc()
 		w.logf("job %s: lease lost before completion", t.grant.JobID)
 	case err != nil:
+		w.metrics.jobs.With("abandoned").Inc()
 		w.logf("job %s: complete: %v (abandoning; lease will expire)", t.grant.JobID, err)
 	case failure != "":
+		w.metrics.jobs.With("failed").Inc()
 		w.logf("job %s: failed: %s", t.grant.JobID, failure)
 	default:
+		w.metrics.jobs.With("done").Inc()
 		w.logf("job %s: done (%d artifacts)", t.grant.JobID, len(arts))
 	}
 }
@@ -416,12 +437,15 @@ func (w *Worker) heartbeat(t *task, stop <-chan struct{}) {
 		opCancel()
 		switch {
 		case err == nil:
+			w.metrics.heartbeats.With("ok").Inc()
 			failingSince = time.Time{}
 		case errors.Is(err, ErrLeaseLost):
+			w.metrics.heartbeats.With("lost").Inc()
 			w.logf("job %s: heartbeat: %v", t.grant.JobID, err)
 			t.markLost()
 			return
 		default:
+			w.metrics.heartbeats.With("error").Inc()
 			if failingSince.IsZero() {
 				failingSince = time.Now()
 			}

@@ -163,7 +163,21 @@ type JobSpec struct {
 	// Sweep, for sweep jobs, is the scenario grid (nil axes fall back to
 	// the configuration, exactly as Pipeline.Sweep resolves them).
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Priority orders dispatch: higher runs first, within
+	// [MinPriority, MaxPriority]; 0 is the default. The queue ages
+	// waiting jobs upward so low priorities cannot starve. omitempty
+	// keeps priority-0 specs byte-identical to pre-priority specs, so
+	// their job IDs are unchanged.
+	Priority int `json:"priority,omitempty"`
 }
+
+// Priority bounds accepted by JobSpec.Priority. The range is validated,
+// not clamped: clamping would silently merge jobs whose specs differ
+// only in an out-of-range priority into one content-addressed ID.
+const (
+	MinPriority = -100
+	MaxPriority = 100
+)
 
 // Normalized validates the spec and fills every defaulted field,
 // returning the canonical form the job ID is derived from. Failures
@@ -174,6 +188,9 @@ func (s JobSpec) Normalized() (JobSpec, error) {
 		return s, fmt.Errorf("%w: %w", ErrInvalidJobSpec, err)
 	}
 	s.Config = cfg
+	if s.Priority < MinPriority || s.Priority > MaxPriority {
+		return s, fmt.Errorf("%w: priority %d outside [%d, %d]", ErrInvalidJobSpec, s.Priority, MinPriority, MaxPriority)
+	}
 	switch s.Kind {
 	case JobPipeline:
 		if s.Sweep != nil {

@@ -122,6 +122,8 @@ func TestJobSpecInvalid(t *testing.T) {
 		{Kind: sparkxd.JobSweep, Config: sparkxd.ConfigSpec{Dataset: "imagenet"}},             // bad dataset
 		{Kind: sparkxd.JobPipeline, Config: sparkxd.ConfigSpec{ErrorModel: "gauss"}},          // bad model
 		{Kind: sparkxd.JobSweep, Sweep: &sparkxd.SweepSpec{Policies: []sparkxd.Policy{"rr"}}}, // bad policy
+		{Kind: sparkxd.JobPipeline, Priority: sparkxd.MaxPriority + 1},                        // priority above range
+		{Kind: sparkxd.JobPipeline, Priority: sparkxd.MinPriority - 1},                        // priority below range
 	}
 	for i, spec := range bad {
 		if _, err := spec.Normalized(); !errors.Is(err, sparkxd.ErrInvalidJobSpec) {
@@ -130,6 +132,40 @@ func TestJobSpecInvalid(t *testing.T) {
 		if _, err := spec.ID(); err == nil {
 			t.Errorf("spec %d: ID() must fail for an invalid spec", i)
 		}
+	}
+}
+
+// Priority is part of the job's identity — except priority 0, whose
+// omitempty serialization keeps pre-priority specs (and every job ID
+// minted before the field existed) byte-for-byte unchanged.
+func TestJobSpecPriorityIdentity(t *testing.T) {
+	base := sparkxd.JobSpec{Kind: sparkxd.JobPipeline}
+	zero := sparkxd.JobSpec{Kind: sparkxd.JobPipeline, Priority: 0}
+	high := sparkxd.JobSpec{Kind: sparkxd.JobPipeline, Priority: 10}
+	baseID, err := base.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroID, err := zero.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroID != baseID {
+		t.Errorf("explicit priority 0 changed the job ID: %s vs %s", zeroID, baseID)
+	}
+	highID, err := high.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if highID == baseID {
+		t.Error("nonzero priority did not change the job ID")
+	}
+	norm, err := high.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Priority != 10 {
+		t.Errorf("normalization changed priority to %d", norm.Priority)
 	}
 }
 

@@ -113,6 +113,20 @@ worker2_pid=$!
 cmp "$workdir/direct.json" "$workdir/served.json"
 echo "fleet-smoke: fleet artifact is byte-identical to the in-process sweep"
 
+# The live coordinator must expose the fleet's activity on /metrics:
+# lease grants and completed-job latency observations are both nonzero
+# after the job above ran through a worker.
+curl -fsS "$addr/metrics" > "$workdir/metrics.out"
+for series in 'sparkxd_leases_total{op="grant"}' 'sparkxd_job_latency_seconds_count'; do
+	if ! awk -v p="$series" 'index($0, p) == 1 && $NF + 0 > 0 { found = 1 }
+		END { exit !found }' "$workdir/metrics.out"; then
+		echo "fleet-smoke: /metrics has no nonzero series for $series:" >&2
+		grep -F "${series%%\{*}" "$workdir/metrics.out" >&2 || true
+		exit 1
+	fi
+done
+echo "fleet-smoke: /metrics shows nonzero lease and job-latency series"
+
 echo "fleet-smoke: draining the coordinator and workers"
 kill "$worker2_pid" 2>/dev/null || true
 wait "$worker2_pid" 2>/dev/null || true

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# loadgen-smoke: end-to-end check of observability + admission control.
+#
+# 1. Start a coordinator (`sparkxd serve -dispatch fleet`) with tight
+#    per-submitter admission control (-rate 1 -burst 1) and a bounded
+#    warm-System cache, plus two workers serving /metrics.
+# 2. Run `sparkxd loadgen` against it: concurrent closed-loop clients,
+#    a single:sweep mix, and two priority classes.
+# 3. Assert the report parses under the sparkxd-loadgen/v1 schema with
+#    zero failed jobs — and, because admission is tight, a nonzero 429
+#    count: every throttle was absorbed by client retry, none leaked
+#    into a failure.
+# 4. Scrape the coordinator and worker /metrics endpoints: lease
+#    grants, job latency observations, and the warm-System cache bound
+#    must all be visible.
+#
+# The JSON report is left at ${LOADGEN_REPORT:-$workdir/report.json}
+# so CI can upload it as a build artifact.
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+report="${LOADGEN_REPORT:-$workdir/report.json}"
+server_pid=""
+worker1_pid=""
+worker2_pid=""
+cleanup() {
+	for pid in "$worker1_pid" "$worker2_pid" "$server_pid"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "loadgen-smoke: building sparkxd"
+go build -o "$workdir/sparkxd" ./cmd/sparkxd
+
+echo "loadgen-smoke: starting coordinator (rate 1/s, burst 1 per submitter)"
+"$workdir/sparkxd" serve -addr 127.0.0.1:0 -store "$workdir/store" \
+	-dispatch fleet -rate 1 -burst 1 -max-warm-systems 2 -quiet \
+	> "$workdir/serve.out" 2> "$workdir/serve.err" &
+server_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+	addr="$(awk '/^listening on /{print $3}' "$workdir/serve.out" 2>/dev/null || true)"
+	[ -n "$addr" ] && break
+	sleep 0.2
+done
+if [ -z "$addr" ]; then
+	echo "loadgen-smoke: coordinator did not report an address" >&2
+	cat "$workdir/serve.err" >&2 || true
+	exit 1
+fi
+echo "loadgen-smoke: coordinator at $addr"
+
+start_worker() { # $1: name, $2: stdout file
+	"$workdir/sparkxd" worker -join "$addr" -workers 2 -name "$1" \
+		-poll 100ms -metrics 127.0.0.1:0 -max-warm-systems 2 -quiet \
+		> "$2" 2>&1 &
+}
+start_worker smoke-w1 "$workdir/worker1.out"
+worker1_pid=$!
+start_worker smoke-w2 "$workdir/worker2.out"
+worker2_pid=$!
+
+echo "loadgen-smoke: running loadgen (3 clients, 6s, mix 3:1, priorities 0,10)"
+"$workdir/sparkxd" loadgen -addr "$addr" -clients 3 -duration 6s \
+	-mix 3:1 -priorities 0,10 > "$report" 2> "$workdir/loadgen.err"
+cat "$workdir/loadgen.err"
+
+echo "loadgen-smoke: validating the report schema"
+jq -e '
+	.schema == "sparkxd-loadgen/v1"
+	and .clients == 3
+	and .submitted > 0
+	and .done == .submitted
+	and .failed == 0
+	and .throughput_jobs_per_s > 0
+	and (.latency_ms | has("p50") and has("p95") and has("p99"))
+	and .latency_ms.p50 >= 0 and .latency_ms.p99 >= .latency_ms.p50
+	and (.per_priority | length) == 2
+	and ([.per_priority[].priority] == [0, 10])
+	and ([.per_priority[].failed] | add) == 0
+' "$report" > /dev/null || {
+	echo "loadgen-smoke: report failed schema validation:" >&2
+	cat "$report" >&2
+	exit 1
+}
+
+throttled="$(jq -r '.throttled_429' "$report")"
+if [ "$throttled" -le 0 ]; then
+	echo "loadgen-smoke: expected 429s under -rate 1 -burst 1, saw none" >&2
+	cat "$report" >&2
+	exit 1
+fi
+echo "loadgen-smoke: $throttled throttles (429), all retried to completion, 0 failed"
+
+echo "loadgen-smoke: scraping coordinator /metrics"
+curl -fsS "$addr/metrics" > "$workdir/coord.metrics"
+check_nonzero() { # $1: metrics file, $2: series prefix
+	awk -v p="$2" 'index($0, p) == 1 && $NF + 0 > 0 { found = 1 }
+		END { exit !found }' "$1" || {
+		echo "loadgen-smoke: no nonzero series for $2 in $1:" >&2
+		grep -F "${2%%\{*}" "$1" >&2 || true
+		exit 1
+	}
+}
+check_nonzero "$workdir/coord.metrics" 'sparkxd_leases_total{op="grant"}'
+check_nonzero "$workdir/coord.metrics" 'sparkxd_job_latency_seconds_count'
+check_nonzero "$workdir/coord.metrics" 'sparkxd_jobs_submitted_total{result="throttled"}'
+echo "loadgen-smoke: coordinator shows lease grants, job latency, and throttles"
+
+echo "loadgen-smoke: scraping worker /metrics"
+fleet_done=0
+for out in "$workdir/worker1.out" "$workdir/worker2.out"; do
+	maddr=""
+	for _ in $(seq 1 50); do
+		maddr="$(awk '/^metrics on /{print $3}' "$out" 2>/dev/null || true)"
+		[ -n "$maddr" ] && break
+		sleep 0.2
+	done
+	if [ -z "$maddr" ]; then
+		echo "loadgen-smoke: worker did not report a metrics address ($out)" >&2
+		cat "$out" >&2
+		exit 1
+	fi
+	curl -fsS "$maddr" > "$workdir/worker.metrics"
+	done_jobs="$(awk '/^sparkxd_worker_jobs_total\{outcome="done"\}/ { print int($2) }' "$workdir/worker.metrics")"
+	fleet_done=$((fleet_done + ${done_jobs:-0}))
+	warm="$(awk '$1 == "sparkxd_warm_systems" { print $2 }' "$workdir/worker.metrics")"
+	if [ -z "$warm" ] || [ "$warm" -gt 2 ]; then
+		echo "loadgen-smoke: worker warm-System cache (${warm:-missing}) exceeds -max-warm-systems 2" >&2
+		exit 1
+	fi
+	echo "loadgen-smoke: worker $maddr healthy (${done_jobs:-0} jobs done, warm systems $warm <= 2)"
+done
+if [ "$fleet_done" -le 0 ]; then
+	echo "loadgen-smoke: no worker reported a completed job" >&2
+	exit 1
+fi
+
+echo "loadgen-smoke: report at $report"
+echo "loadgen-smoke: PASS"
