@@ -45,16 +45,10 @@ shard-smoke: build
 	$(GO) run ./cmd/experiments run --workers 4 --shard 1/2 --json > /dev/null
 	$(GO) run ./cmd/experiments run --workers 4 --shard 2/2 --json > /dev/null
 
-# Scenario-sweep engine smoke: a tiny grid on 2 workers, cross-checked
-# byte-identical against the sequential (workers=1) run.
+# Scenario-sweep engine smoke: a tiny multi-axis grid on 2 workers,
+# cross-checked byte-identical against the sequential (workers=1) run.
 sweep-smoke: build
-	$(GO) run ./cmd/sparkxd sweep -neurons 40 -train 60 -test 30 -epochs 1 \
-		-voltages 1.1,1.025 -bers 1e-5,1e-4 -models uniform,data-dependent \
-		-policies baseline,sparkxd -workers 2 -json > /tmp/sparkxd-sweep-w2.json
-	$(GO) run ./cmd/sparkxd sweep -neurons 40 -train 60 -test 30 -epochs 1 \
-		-voltages 1.1,1.025 -bers 1e-5,1e-4 -models uniform,data-dependent \
-		-policies baseline,sparkxd -workers 1 -json > /tmp/sparkxd-sweep-w1.json
-	cmp /tmp/sparkxd-sweep-w1.json /tmp/sparkxd-sweep-w2.json
+	./scripts/sweep-smoke.sh
 
 # Job-service smoke: start `sparkxd serve` on a random port, submit a
 # tiny sweep twice through the Go client (same deterministic job ID),

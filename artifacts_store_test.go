@@ -95,7 +95,7 @@ func TestArtifactStoreRoundTrip(t *testing.T) {
 	rep := &sparkxd.SweepReport{
 		Dataset: "mnist", Neurons: 50, BaselineAcc: 0.875,
 		Voltages: []float64{1.1}, BERs: []float64{1e-5},
-		ErrorModels: []string{"uniform"}, Policies: []sparkxd.Policy{sparkxd.PolicySparkXD},
+		ErrorModels: []sparkxd.ErrorModelName{"uniform"}, Policies: []sparkxd.Policy{sparkxd.PolicySparkXD},
 		Points: []sparkxd.SweepPoint{{Key: "v1.1000/ber1e-05/uniform/sparkxd", Voltage: 1.1, BER: 1e-5,
 			ErrorModel: "uniform", Policy: sparkxd.PolicySparkXD, Accuracy: 0.75}},
 	}

@@ -320,6 +320,9 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		bers     = fs.String("bers", "", "comma-separated BER thresholds (default: configured schedule)")
 		models   = fs.String("models", "", "comma-separated error models (uniform,bitline,wordline,data-dependent)")
 		policies = fs.String("policies", "", "comma-separated mapping policies (baseline,sparkxd)")
+		bitw     = fs.String("bitwidths", "", "comma-separated stored-weight bitwidths (16,32; default: configured quantization)")
+		prunes   = fs.String("prune", "", "comma-separated prune levels in [0,1) (default: unpruned)")
+		encoders = fs.String("encoders", "", "comma-separated spike encoders (rate,rate-det,ttfs,rank-order,phase,burst)")
 		trainN   = fs.Int("train", 300, "training samples")
 		testN    = fs.Int("test", 128, "test samples")
 		epochs   = fs.Int("epochs", 2, "error-free training epochs")
@@ -362,6 +365,22 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 			return 2
 		}
 		spec.Policies = append(spec.Policies, pol)
+	}
+	if spec.Bitwidths, err = parseIntList(*bitw); err != nil {
+		fmt.Fprintf(stderr, "sparkxd sweep: -bitwidths: %v\n", err)
+		return 2
+	}
+	if spec.PruneLevels, err = parseFloatList(*prunes); err != nil {
+		fmt.Fprintf(stderr, "sparkxd sweep: -prune: %v\n", err)
+		return 2
+	}
+	for _, tok := range splitList(*encoders) {
+		enc, err := sparkxd.ParseEncoder(tok)
+		if err != nil {
+			fmt.Fprintf(stderr, "sparkxd sweep: %v\n", err)
+			return 2
+		}
+		spec.Encoders = append(spec.Encoders, enc)
 	}
 
 	opts := []sparkxd.Option{
@@ -483,6 +502,19 @@ func parseFloatList(s string) ([]float64, error) {
 	var out []float64
 	for _, tok := range splitList(s) {
 		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseIntList parses a comma-separated list of integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, tok := range splitList(s) {
+		v, err := strconv.Atoi(tok)
 		if err != nil {
 			return nil, fmt.Errorf("bad value %q", tok)
 		}

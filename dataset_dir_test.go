@@ -1,0 +1,108 @@
+// Tests of the real-dataset wiring: a configured data directory (option
+// or SPARKXD_DATA_DIR) replaces the synthetic generator when it holds a
+// complete IDX file set, and surfaces load failures through Train.
+package sparkxd_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparkxd"
+	"sparkxd/internal/dataset"
+)
+
+// writeIDXDir writes a complete, valid 4-file MNIST-format fixture set.
+func writeIDXDir(t *testing.T, dir string, trainN, testN int) {
+	t.Helper()
+	pairs := []struct {
+		img, lbl string
+		n        int
+	}{
+		{"train-images-idx3-ubyte", "train-labels-idx1-ubyte", trainN},
+		{"t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte", testN},
+	}
+	for _, p := range pairs {
+		images := make([][]byte, p.n)
+		labels := make([]uint8, p.n)
+		for i := range images {
+			img := make([]byte, dataset.Pixels)
+			img[i%dataset.Pixels] = byte(50 + i%200)
+			images[i] = img
+			labels[i] = uint8(i % dataset.NumClasses)
+		}
+		var imgBuf, lblBuf bytes.Buffer
+		if err := dataset.WriteIDXImages(&imgBuf, images); err != nil {
+			t.Fatal(err)
+		}
+		if err := dataset.WriteIDXLabels(&lblBuf, labels); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, p.img), imgBuf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, p.lbl), lblBuf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWithDataDirLoadsIDXFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	dir := t.TempDir()
+	writeIDXDir(t, dir, 90, 50)
+	sys := tinySystem(t, sparkxd.WithDataDir(dir))
+	m, err := sys.Pipeline().Train(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budgets still apply: the fixture's 90/50 samples truncate to the
+	// configured 80/40.
+	if m.TrainSamples != 80 || m.TestSamples != 40 {
+		t.Errorf("sample budgets = %d/%d, want 80/40", m.TrainSamples, m.TestSamples)
+	}
+}
+
+func TestWithDataDirCorruptSetSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	writeIDXDir(t, dir, 5, 3)
+	// Remove one file: a partial set must fail loudly, never silently
+	// fall back to synthetic data.
+	if err := os.Remove(filepath.Join(dir, "t10k-labels-idx1-ubyte")); err != nil {
+		t.Fatal(err)
+	}
+	sys := tinySystem(t, sparkxd.WithDataDir(dir))
+	_, err := sys.Pipeline().Train(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "missing t10k-labels-idx1-ubyte") {
+		t.Fatalf("err = %v, want dataset load error", err)
+	}
+}
+
+func TestDataDirEnvFallback(t *testing.T) {
+	dir := t.TempDir()
+	writeIDXDir(t, dir, 5, 3)
+	if err := os.Remove(filepath.Join(dir, "train-images-idx3-ubyte")); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("SPARKXD_DATA_DIR", dir)
+	sys := tinySystem(t) // no WithDataDir: env var must apply
+	_, err := sys.Pipeline().Train(context.Background())
+	if err == nil || !strings.Contains(err.Error(), dir) {
+		t.Fatalf("err = %v, want load error mentioning %s", err, dir)
+	}
+}
+
+func TestDataDirAbsentFallsBackToSynthetic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	sys := tinySystem(t, sparkxd.WithDataDir(t.TempDir()))
+	if _, err := sys.Pipeline().Train(context.Background()); err != nil {
+		t.Fatalf("empty data dir must fall back to synthetic: %v", err)
+	}
+}

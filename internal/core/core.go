@@ -95,7 +95,15 @@ func (f *Framework) Validate() error {
 // policy: nil safe flags select the baseline sequential mapping, a
 // safe-flag set selects Algorithm 2.
 func (f *Framework) LayoutForWeights(weightCount int, safe []bool) (*mapping.Layout, error) {
-	units := mapping.UnitsFor(f.Format.ImageSize(weightCount, f.Geom.ColumnBytes), f.Geom.ColumnBytes)
+	return f.LayoutForWeightsIn(f.Format, weightCount, safe)
+}
+
+// LayoutForWeightsIn is LayoutForWeights with an explicit stored-weight
+// format — the sweep engine's bitwidth axis overrides the framework
+// format per scenario, which changes the image size and therefore the
+// placement.
+func (f *Framework) LayoutForWeightsIn(format quant.Format, weightCount int, safe []bool) (*mapping.Layout, error) {
+	units := mapping.UnitsFor(format.ImageSize(weightCount, f.Geom.ColumnBytes), f.Geom.ColumnBytes)
 	if safe == nil {
 		return mapping.Baseline(f.Geom, units)
 	}
@@ -379,12 +387,18 @@ func (f *Framework) MapWeightsAdaptive(weightCount int, v, berTh float64) (*mapp
 // profile across many thresholds): the threshold doubles until the safe
 // subarrays can hold the image, for at most 64 attempts.
 func (f *Framework) MapAdaptiveWithProfile(profile *errmodel.Profile, weightCount int, berTh float64) (*mapping.Layout, float64, error) {
+	return f.MapAdaptiveWithProfileIn(f.Format, profile, weightCount, berTh)
+}
+
+// MapAdaptiveWithProfileIn is MapAdaptiveWithProfile with an explicit
+// stored-weight format (see LayoutForWeightsIn).
+func (f *Framework) MapAdaptiveWithProfileIn(format quant.Format, profile *errmodel.Profile, weightCount int, berTh float64) (*mapping.Layout, float64, error) {
 	th := berTh
 	if th <= 0 {
 		th = 1e-12
 	}
 	for attempt := 0; attempt < 64; attempt++ {
-		layout, err := f.LayoutForWeights(weightCount, profile.SafeSubarrays(th))
+		layout, err := f.LayoutForWeightsIn(format, weightCount, profile.SafeSubarrays(th))
 		if err == nil {
 			return layout, th, nil
 		}

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Standard MNIST/Fashion-MNIST distribution filenames (the bases; each
+// may also be present gzip-compressed with a ".gz" suffix).
+var idxFiles = [4]string{
+	"train-images-idx3-ubyte",
+	"train-labels-idx1-ubyte",
+	"t10k-images-idx3-ubyte",
+	"t10k-labels-idx1-ubyte",
+}
+
+// publicName maps a flavor to the on-disk directory name LoadIDX probes
+// (dir/mnist/, dir/fashion/) and to the loaded Dataset's name.
+func publicName(f Flavor) string {
+	if f == FashionLike {
+		return "fashion"
+	}
+	return "mnist"
+}
+
+// LoadIDX loads a real MNIST-format dataset from dir, probing
+// dir/<flavor>/ first and then dir itself for the four standard IDX
+// files (plain or .gz). found is false — with no error — when none of
+// the files exist, so callers can fall back to the synthetic generator;
+// a partially present or malformed file set is an error, never a silent
+// fallback.
+func LoadIDX(dir string, flavor Flavor) (train, test *Dataset, found bool, err error) {
+	name := publicName(flavor)
+	for _, base := range []string{filepath.Join(dir, name), dir} {
+		train, test, found, err = loadIDXDir(base, name)
+		if found || err != nil {
+			return train, test, found, err
+		}
+	}
+	return nil, nil, false, nil
+}
+
+// loadIDXDir loads the four-file set rooted at base.
+func loadIDXDir(base, name string) (train, test *Dataset, found bool, err error) {
+	paths := make([]string, len(idxFiles))
+	present := 0
+	for i, f := range idxFiles {
+		for _, p := range []string{filepath.Join(base, f), filepath.Join(base, f+".gz")} {
+			if _, statErr := os.Stat(p); statErr == nil {
+				paths[i] = p
+				present++
+				break
+			}
+		}
+	}
+	if present == 0 {
+		return nil, nil, false, nil
+	}
+	if present < len(idxFiles) {
+		for i, p := range paths {
+			if p == "" {
+				return nil, nil, false, fmt.Errorf("dataset: %s: missing %s (the IDX file set must be complete)", base, idxFiles[i])
+			}
+		}
+	}
+	if train, err = loadIDXPair(paths[0], paths[1], name+"-idx-train"); err != nil {
+		return nil, nil, false, err
+	}
+	if test, err = loadIDXPair(paths[2], paths[3], name+"-idx-test"); err != nil {
+		return nil, nil, false, err
+	}
+	return train, test, true, nil
+}
+
+// loadIDXPair reads one (images, labels) file pair into a validated
+// Dataset.
+func loadIDXPair(imgPath, lblPath, name string) (*Dataset, error) {
+	var d Dataset
+	d.Name = name
+	if err := readIDXFile(imgPath, func(r io.Reader) error {
+		images, err := ReadIDXImages(r)
+		if err != nil {
+			return err
+		}
+		d.Images = images
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := readIDXFile(lblPath, func(r io.Reader) error {
+		labels, err := ReadIDXLabels(r)
+		if err != nil {
+			return err
+		}
+		d.Labels = labels
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: %s + %s: %w", imgPath, lblPath, err)
+	}
+	return &d, nil
+}
+
+// readIDXFile opens path (transparently gunzipping a .gz suffix) and
+// hands the reader to parse, annotating any failure with the path.
+func readIDXFile(path string, parse func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if filepath.Ext(path) == ".gz" {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return fmt.Errorf("dataset: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	if err := parse(r); err != nil {
+		return fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureSet builds a tiny valid 4-file IDX fixture (trainN/testN
+// samples) in dir; gz compresses the files.
+func fixtureSet(t *testing.T, dir string, trainN, testN int, gz bool) {
+	t.Helper()
+	writeIDXFixture(t, dir, "train-images-idx3-ubyte", "train-labels-idx1-ubyte", trainN, gz)
+	writeIDXFixture(t, dir, "t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte", testN, gz)
+}
+
+func writeIDXFixture(t *testing.T, dir, imgName, lblName string, n int, gz bool) {
+	t.Helper()
+	images := make([][]byte, n)
+	labels := make([]uint8, n)
+	for i := range images {
+		img := make([]byte, Pixels)
+		img[i%Pixels] = byte(100 + i)
+		images[i] = img
+		labels[i] = uint8(i % NumClasses)
+	}
+	var imgBuf, lblBuf bytes.Buffer
+	if err := WriteIDXImages(&imgBuf, images); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(&lblBuf, labels); err != nil {
+		t.Fatal(err)
+	}
+	writeFixtureFile(t, filepath.Join(dir, imgName), imgBuf.Bytes(), gz)
+	writeFixtureFile(t, filepath.Join(dir, lblName), lblBuf.Bytes(), gz)
+}
+
+func writeFixtureFile(t *testing.T, path string, data []byte, gz bool) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if gz {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, path = buf.Bytes(), path+".gz"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadIDXPlainFiles(t *testing.T) {
+	dir := t.TempDir()
+	fixtureSet(t, dir, 12, 5, false)
+	train, test, found, err := LoadIDX(dir, MNISTLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("complete fixture set not found")
+	}
+	if train.Len() != 12 || test.Len() != 5 {
+		t.Fatalf("got %d/%d samples, want 12/5", train.Len(), test.Len())
+	}
+	if train.Name != "mnist-idx-train" || test.Name != "mnist-idx-test" {
+		t.Errorf("names = %q, %q", train.Name, test.Name)
+	}
+	if train.Images[3][3%Pixels] != 103 {
+		t.Errorf("payload mismatch: image 3 pixel = %d, want 103", train.Images[3][3])
+	}
+	if train.Labels[7] != 7 {
+		t.Errorf("label 7 = %d", train.Labels[7])
+	}
+}
+
+func TestLoadIDXGzipInFlavorSubdir(t *testing.T) {
+	dir := t.TempDir()
+	fixtureSet(t, filepath.Join(dir, "fashion"), 6, 4, true)
+	train, test, found, err := LoadIDX(dir, FashionLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("gzipped subdir fixture not found")
+	}
+	if train.Len() != 6 || test.Len() != 4 {
+		t.Fatalf("got %d/%d samples, want 6/4", train.Len(), test.Len())
+	}
+	if train.Name != "fashion-idx-train" {
+		t.Errorf("train name = %q", train.Name)
+	}
+}
+
+func TestLoadIDXAbsentIsNotAnError(t *testing.T) {
+	_, _, found, err := LoadIDX(t.TempDir(), MNISTLike)
+	if err != nil {
+		t.Fatalf("empty dir must fall back silently, got %v", err)
+	}
+	if found {
+		t.Fatal("found = true in empty dir")
+	}
+}
+
+func TestLoadIDXPartialSetIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	writeIDXFixture(t, dir, "train-images-idx3-ubyte", "train-labels-idx1-ubyte", 3, false)
+	// The t10k pair is missing.
+	_, _, _, err := LoadIDX(dir, MNISTLike)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("partial set: err = %v, want missing-file error", err)
+	}
+}
+
+func TestLoadIDXCorruptFiles(t *testing.T) {
+	valid := func(t *testing.T, dir string) { fixtureSet(t, dir, 3, 2, false) }
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string)
+		want    string
+	}{
+		{
+			name: "bad image magic",
+			corrupt: func(t *testing.T, dir string) {
+				var buf bytes.Buffer
+				for _, v := range [4]uint32{0xdeadbeef, 1, Side, Side} {
+					binary.Write(&buf, binary.BigEndian, v)
+				}
+				writeFixtureFile(t, filepath.Join(dir, "train-images-idx3-ubyte"), buf.Bytes(), false)
+			},
+			want: "bad image magic",
+		},
+		{
+			name: "truncated image payload",
+			corrupt: func(t *testing.T, dir string) {
+				var buf bytes.Buffer
+				for _, v := range [4]uint32{0x00000803, 2, Side, Side} {
+					binary.Write(&buf, binary.BigEndian, v)
+				}
+				buf.Write(make([]byte, Pixels/2)) // half of image 0
+				writeFixtureFile(t, filepath.Join(dir, "t10k-images-idx3-ubyte"), buf.Bytes(), false)
+			},
+			want: "truncated image",
+		},
+		{
+			name: "label out of range",
+			corrupt: func(t *testing.T, dir string) {
+				var buf bytes.Buffer
+				for _, v := range [2]uint32{0x00000801, 2} {
+					binary.Write(&buf, binary.BigEndian, v)
+				}
+				buf.Write([]byte{1, NumClasses})
+				writeFixtureFile(t, filepath.Join(dir, "train-labels-idx1-ubyte"), buf.Bytes(), false)
+			},
+			want: "label",
+		},
+		{
+			name: "image/label count mismatch",
+			corrupt: func(t *testing.T, dir string) {
+				var buf bytes.Buffer
+				binary.Write(&buf, binary.BigEndian, uint32(0x00000801))
+				binary.Write(&buf, binary.BigEndian, uint32(1)) // fixture has 3 images
+				buf.WriteByte(0)
+				writeFixtureFile(t, filepath.Join(dir, "train-labels-idx1-ubyte"), buf.Bytes(), false)
+			},
+			want: "count mismatch",
+		},
+		{
+			name: "corrupt gzip stream",
+			corrupt: func(t *testing.T, dir string) {
+				os.Remove(filepath.Join(dir, "train-images-idx3-ubyte"))
+				writeFixtureFile(t, filepath.Join(dir, "train-images-idx3-ubyte.gz"),
+					[]byte("not gzip at all"), false)
+			},
+			want: "train-images",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			valid(t, dir)
+			tc.corrupt(t, dir)
+			_, _, _, err := LoadIDX(dir, MNISTLike)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

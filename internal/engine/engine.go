@@ -1,8 +1,9 @@
 // Package engine is the batched scenario-sweep evaluation engine: it
 // takes a trained SNN and a declarative scenario grid (supply voltages ×
-// bit-error rates × EDEN error-model kinds × mapping policies), fans the
-// cross-product out over the internal/sched work-stealing pool, and
-// returns one deterministic accuracy/energy record per scenario.
+// bit-error rates × EDEN error-model kinds × mapping policies, plus the
+// optional stored-weight bitwidth, prune-level, and spike-encoder axes),
+// fans the cross-product out over the internal/sched work-stealing pool,
+// and returns one deterministic accuracy/energy record per scenario.
 //
 // The sweep decomposes into independent scenario jobs that share their
 // expensive invariants:
@@ -34,10 +35,12 @@ import (
 	"runtime"
 	"sync"
 
+	"sparkxd/internal/coding"
 	"sparkxd/internal/core"
 	"sparkxd/internal/dataset"
 	"sparkxd/internal/errmodel"
 	"sparkxd/internal/mapping"
+	"sparkxd/internal/prune"
 	"sparkxd/internal/quant"
 	"sparkxd/internal/rng"
 	"sparkxd/internal/sched"
@@ -78,6 +81,32 @@ type Spec struct {
 	EvalSeed uint64
 	// Workers bounds the scheduler pool; <= 0 means GOMAXPROCS.
 	Workers int
+
+	// The axes below extend the paper's 4-axis grid. An empty axis (or a
+	// zero element) means "the framework default" and is elided from
+	// scenario keys, so grids that do not exercise an axis keep the exact
+	// keys — and therefore RNG streams and cache identities — of the
+	// 4-axis engine.
+
+	// Bitwidths are stored-weight bitwidths to sweep (16 = FP16,
+	// 32 = FP32); 0 means the framework's configured format.
+	Bitwidths []int
+	// PruneLevels are fractions of weights zeroed by magnitude before
+	// storage, each in [0, 1); 0 means no pruning.
+	PruneLevels []float64
+	// Encoders are spike-encoder axis points; the zero EncoderAxis means
+	// the network's own encoder.
+	Encoders []EncoderAxis
+}
+
+// EncoderAxis is one point of the spike-encoder axis. The zero value
+// selects the network's own encoder and is elided from scenario keys.
+type EncoderAxis struct {
+	// Name is the short stable axis name embedded in scenario keys
+	// ("ttfs", "phase", …); it must be non-empty iff Coder is non-nil.
+	Name string
+	// Coder encodes the test set for this axis point.
+	Coder coding.Encoder
 }
 
 // Scenario is one evaluation point of the grid.
@@ -86,13 +115,31 @@ type Scenario struct {
 	BER     float64
 	Kind    errmodel.Kind
 	Policy  string
+	// Bits is the stored-weight bitwidth (0 = framework format).
+	Bits int
+	// Prune is the pruned weight fraction (0 = none).
+	Prune float64
+	// Encoder is the spike-encoder axis point (zero = network encoder).
+	Encoder EncoderAxis
 }
 
 // Key returns the scenario's canonical identity. It is the seed-
 // derivation path of the scenario's injection stream and the sort key of
-// the sweep results, so it must be stable across releases.
+// the sweep results, so it must be stable across releases. Default axis
+// values (zero bitwidth/prune, zero EncoderAxis) are elided, keeping
+// 4-axis keys byte-identical to the pre-N-axis engine.
 func (sc Scenario) Key() string {
-	return fmt.Sprintf("v%.4f/ber%.3e/%s/%s", sc.Voltage, sc.BER, sc.Kind, sc.Policy)
+	key := fmt.Sprintf("v%.4f/ber%.3e/%s/%s", sc.Voltage, sc.BER, sc.Kind, sc.Policy)
+	if sc.Bits != 0 {
+		key += fmt.Sprintf("/bw%d", sc.Bits)
+	}
+	if sc.Prune != 0 {
+		key += fmt.Sprintf("/pr%.4f", sc.Prune)
+	}
+	if sc.Encoder.Name != "" {
+		key += "/enc-" + sc.Encoder.Name
+	}
+	return key
 }
 
 // Result is the outcome of one scenario, deterministic in (spec, model,
@@ -110,6 +157,12 @@ type Result struct {
 	SafeSubarrays int `json:"safe_subarrays"`
 	// FlippedBits is the number of bit errors this scenario injected.
 	FlippedBits int64 `json:"flipped_bits"`
+	// Bitwidth, PruneLevel, and Encoder echo the scenario's extended-axis
+	// values; the zero value means the framework default (and the field is
+	// omitted, matching pre-N-axis records).
+	Bitwidth   int     `json:"bitwidth,omitempty"`
+	PruneLevel float64 `json:"prune_level,omitempty"`
+	Encoder    string  `json:"encoder,omitempty"`
 	// Accuracy is the model's accuracy under the scenario's errors.
 	Accuracy float64 `json:"accuracy"`
 	// EnergyMJ and HitRate describe one weight-streaming inference pass
@@ -129,14 +182,16 @@ type Engine struct {
 	// (voltage | uniform BER, error-model kind, device seed).
 	profiles *sched.Cache
 	// prepared single-flights layout construction and injector weak-cell
-	// preparation, keyed by (profile key, policy, threshold, image size).
+	// preparation, keyed by (profile key, policy, threshold, image size,
+	// and — when non-default — the scenario bitwidth).
 	prepared *sched.Cache
-	// encMu/enc cache the encoded test set across Run calls: spike
+	// encMu/encs cache the encoded test sets across Run calls, one entry
+	// per encoder-axis name ("" = the network's own encoder): spike
 	// trains depend only on (dataset, encoder, steps, EvalSeed), so
 	// repeated sweeps against one system — the serve/fleet steady state —
-	// encode the test set once, not once per Run.
+	// encode each test-set/encoder pair once, not once per Run.
 	encMu sync.Mutex
-	enc   *snn.EncodedSet
+	encs  map[string]*snn.EncodedSet
 }
 
 // New returns an engine over the framework's device models.
@@ -150,18 +205,42 @@ func New(fw *core.Framework) *Engine {
 func (e *Engine) ProfileCacheStats() (hits, misses uint64) { return e.profiles.Stats() }
 
 // Scenarios expands the spec's cross-product in axis order (voltage,
-// BER, kind, policy).
+// BER, kind, policy, bitwidth, prune level, encoder). Empty extended
+// axes expand to their single default point, so a 4-axis spec yields
+// exactly the pre-N-axis grid.
 func (s Spec) Scenarios() []Scenario {
 	voltages := s.Voltages
 	if s.Uniform {
 		voltages = []float64{0}
 	}
-	out := make([]Scenario, 0, len(voltages)*len(s.BERs)*len(s.Kinds)*len(s.Policies))
+	bits := s.Bitwidths
+	if len(bits) == 0 {
+		bits = []int{0}
+	}
+	prunes := s.PruneLevels
+	if len(prunes) == 0 {
+		prunes = []float64{0}
+	}
+	encs := s.Encoders
+	if len(encs) == 0 {
+		encs = []EncoderAxis{{}}
+	}
+	n := len(voltages) * len(s.BERs) * len(s.Kinds) * len(s.Policies) * len(bits) * len(prunes) * len(encs)
+	out := make([]Scenario, 0, n)
 	for _, v := range voltages {
 		for _, ber := range s.BERs {
 			for _, k := range s.Kinds {
 				for _, pol := range s.Policies {
-					out = append(out, Scenario{Voltage: v, BER: ber, Kind: k, Policy: pol})
+					for _, bw := range bits {
+						for _, pr := range prunes {
+							for _, enc := range encs {
+								out = append(out, Scenario{
+									Voltage: v, BER: ber, Kind: k, Policy: pol,
+									Bits: bw, Prune: pr, Encoder: enc,
+								})
+							}
+						}
+					}
 				}
 			}
 		}
@@ -196,6 +275,21 @@ func (s Spec) Validate() error {
 	for _, p := range s.Policies {
 		if p != PolicyBaseline && p != PolicySparkXD {
 			return fmt.Errorf("engine: unknown mapping policy %q", p)
+		}
+	}
+	for _, bw := range s.Bitwidths {
+		if _, err := formatForBits(bw, 0); err != nil {
+			return err
+		}
+	}
+	for _, pr := range s.PruneLevels {
+		if pr < 0 || pr >= 1 {
+			return fmt.Errorf("engine: prune level %v outside [0, 1)", pr)
+		}
+	}
+	for _, enc := range s.Encoders {
+		if (enc.Name == "") != (enc.Coder == nil) {
+			return fmt.Errorf("engine: encoder axis %q must set Name and Coder together", enc.Name)
 		}
 	}
 	seen := make(map[string]bool)
@@ -262,13 +356,20 @@ func (e *Engine) Run(ctx context.Context, net *snn.Network, test *dataset.Datase
 		evalWorkers = 1
 	}
 
-	// Every scenario evaluates on the same spike trains (paired
-	// evaluation, one shared EvalSeed), so the test set is encoded once
-	// here and shared read-only by all workers.
-	es, err := e.encodedTestSet(ctx, net, test, spec, workers)
+	// Every scenario of one encoder-axis point evaluates on the same
+	// spike trains (paired evaluation, one shared EvalSeed), so each
+	// distinct encoder's test set is encoded once here and shared
+	// read-only by all workers.
+	encSets, err := e.encodedTestSets(ctx, net, test, spec, workers)
 	if err != nil {
 		return nil, fmt.Errorf("engine: encode test set: %w", err)
 	}
+
+	// Pruned master-weight variants are shared across the scenarios of
+	// one prune level, but must NOT outlive this Run: pruning depends on
+	// the actual weight values, which may differ between Run calls on a
+	// persistent Engine.
+	pruned := sched.NewCache()
 
 	pool := sync.Pool{New: func() any {
 		return &scratch{ev: snn.NewEvaluatorWorkers(net, evalWorkers)}
@@ -286,7 +387,7 @@ func (e *Engine) Run(ctx context.Context, net *snn.Network, test *dataset.Datase
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			return e.runScenario(ctx, sc, spec, weights, es, &pool, c.RNG)
+			return e.runScenario(ctx, sc, spec, weights, encSets, pruned, &pool, c.RNG)
 		}})
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
@@ -305,15 +406,21 @@ func (e *Engine) Run(ctx context.Context, net *snn.Network, test *dataset.Datase
 }
 
 // runScenario evaluates one grid point. r is the scenario's private
-// stream (derived by the scheduler from the scenario key); es is the
-// run-wide encoded test set.
+// stream (derived by the scheduler from the scenario key); encSets maps
+// encoder-axis names to the run-wide encoded test sets; pruned is the
+// run-local pruned-master-weights cache.
 func (e *Engine) runScenario(ctx context.Context, sc Scenario, spec Spec,
-	weights []float32, es *snn.EncodedSet, pool *sync.Pool, r *rng.Stream) (Result, error) {
+	weights []float32, encSets map[string]*snn.EncodedSet, pruned *sched.Cache,
+	pool *sync.Pool, r *rng.Stream) (Result, error) {
+	format, err := formatForBits(sc.Bits, e.fw.Format)
+	if err != nil {
+		return Result{}, err
+	}
 	profile, profileKey, err := e.profileFor(sc, spec)
 	if err != nil {
 		return Result{}, err
 	}
-	p, err := e.prepFor(sc, profileKey, profile, len(weights))
+	p, err := e.prepFor(sc, profileKey, profile, len(weights), format)
 	if err != nil {
 		return Result{}, err
 	}
@@ -325,12 +432,28 @@ func (e *Engine) runScenario(ctx context.Context, sc Scenario, spec Spec,
 		effTh, safe = sc.BER, profile.SafeCount(sc.BER)
 	}
 
+	w := weights
+	if sc.Prune != 0 {
+		if w, err = prunedWeights(pruned, weights, sc.Prune); err != nil {
+			return Result{}, err
+		}
+	}
+
 	s := pool.Get().(*scratch)
 	defer pool.Put(s)
-	flips, err := e.corruptInto(s, weights, p, r.Derive("inject"))
+	flips, err := e.corruptInto(s, w, p, format, r.Derive("inject"))
 	if err != nil {
 		return Result{}, err
 	}
+	es := encSets[sc.Encoder.Name]
+	if es == nil {
+		return Result{}, fmt.Errorf("engine: no encoded test set for encoder axis %q", sc.Encoder.Name)
+	}
+	// Point the pooled evaluator at the scenario's encoder so the
+	// encoded-set identity check passes; evaluation itself reads only the
+	// pre-encoded trains, so results do not depend on which scenario last
+	// used this scratch.
+	s.ev.SetEncoder(sc.Encoder.Coder)
 	acc, err := s.ev.EvaluateWeightsEncoded(ctx, es, s.w)
 	if err != nil {
 		return Result{}, err
@@ -345,6 +468,9 @@ func (e *Engine) runScenario(ctx context.Context, sc Scenario, spec Spec,
 		EffectiveBERth: effTh,
 		SafeSubarrays:  safe,
 		FlippedBits:    flips,
+		Bitwidth:       sc.Bits,
+		PruneLevel:     sc.Prune,
+		Encoder:        sc.Encoder.Name,
 		Accuracy:       acc,
 	}
 	if !spec.Uniform {
@@ -358,23 +484,74 @@ func (e *Engine) runScenario(ctx context.Context, sc Scenario, spec Spec,
 	return res, nil
 }
 
-// encodedTestSet returns the sweep's pre-encoded spike trains, reusing
-// the cached set when the dataset, encoder, steps, and EvalSeed all
-// match the previous Run (trains do not depend on the network's weights
-// or thresholds). Encoding runs under the mutex, single-flighted.
-func (e *Engine) encodedTestSet(ctx context.Context, net *snn.Network, test *dataset.Dataset, spec Spec, workers int) (*snn.EncodedSet, error) {
+// encodedTestSets returns the sweep's pre-encoded spike trains, one set
+// per encoder-axis point, reusing cached sets when the dataset, encoder,
+// steps, and EvalSeed all match a previous Run (trains do not depend on
+// the network's weights or thresholds). Every encoder expands the same
+// EvalSeed root, so accuracies stay paired across the encoder axis.
+// Encoding runs under the mutex, single-flighted.
+func (e *Engine) encodedTestSets(ctx context.Context, net *snn.Network, test *dataset.Dataset, spec Spec, workers int) (map[string]*snn.EncodedSet, error) {
 	e.encMu.Lock()
 	defer e.encMu.Unlock()
-	r := rng.New(spec.EvalSeed)
-	if e.enc != nil && e.enc.Matches(&net.Cfg, test, r) {
-		return e.enc, nil
+	if e.encs == nil {
+		e.encs = make(map[string]*snn.EncodedSet)
 	}
-	es, err := net.EncodeDataset(ctx, test, r, workers)
+	axes := spec.Encoders
+	if len(axes) == 0 {
+		axes = []EncoderAxis{{}}
+	}
+	out := make(map[string]*snn.EncodedSet, len(axes))
+	for _, ax := range axes {
+		r := rng.New(spec.EvalSeed)
+		encName := net.Cfg.Encoder.Name()
+		if ax.Coder != nil {
+			encName = ax.Coder.Name()
+		}
+		if cached := e.encs[ax.Name]; cached != nil && cached.MatchesFor(test, r, net.Cfg.Steps, encName) {
+			out[ax.Name] = cached
+			continue
+		}
+		es, err := net.EncodeDatasetWith(ctx, test, ax.Coder, r, workers)
+		if err != nil {
+			return nil, err
+		}
+		e.encs[ax.Name] = es
+		out[ax.Name] = es
+	}
+	return out, nil
+}
+
+// formatForBits resolves a scenario bitwidth to a stored-weight format;
+// the 0 default resolves to def (the framework's configured format).
+func formatForBits(bits int, def quant.Format) (quant.Format, error) {
+	switch bits {
+	case 0:
+		return def, nil
+	case 16:
+		return quant.FP16, nil
+	case 32:
+		return quant.FP32, nil
+	default:
+		return def, fmt.Errorf("engine: unsupported bitwidth %d (valid: 16, 32)", bits)
+	}
+}
+
+// prunedWeights returns the master weights with the scenario's prune
+// level applied, single-flighted per level through the run-local cache
+// (the returned slice is shared read-only by every scenario of that
+// level).
+func prunedWeights(cache *sched.Cache, weights []float32, level float64) ([]float32, error) {
+	v, err := cache.GetOrCompute(fmt.Sprintf("pruned/pr%.4f", level), func() (any, error) {
+		w := append([]float32(nil), weights...)
+		if _, err := prune.ByMagnitude(w, 1-level); err != nil {
+			return nil, fmt.Errorf("engine: prune level %v: %w", level, err)
+		}
+		return w, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	e.enc = es
-	return es, nil
+	return v.([]float32), nil
 }
 
 // profileFor returns the scenario's device profile through the
@@ -402,22 +579,28 @@ func (e *Engine) profileFor(sc Scenario, spec Spec) (*errmodel.Profile, string, 
 // the single-flight cache. Prepared injectors are read-only during
 // Inject, so concurrent scenarios of the same device point share one
 // weak-cell derivation pass.
-func (e *Engine) prepFor(sc Scenario, profileKey string, profile *errmodel.Profile, weightCount int) (*prep, error) {
+func (e *Engine) prepFor(sc Scenario, profileKey string, profile *errmodel.Profile, weightCount int, format quant.Format) (*prep, error) {
 	key := fmt.Sprintf("prep/%s/%s/n%d", profileKey, sc.Policy, weightCount)
 	if sc.Policy == PolicySparkXD {
 		key = fmt.Sprintf("prep/%s/%s/th%.3e/n%d", profileKey, sc.Policy, sc.BER, weightCount)
+	}
+	if sc.Bits != 0 {
+		// A non-default bitwidth changes the image size and therefore the
+		// layout and weak-cell preparation; prune levels do NOT (pruned
+		// weights still occupy their cells), so prune is absent here.
+		key = fmt.Sprintf("%s/bw%d", key, sc.Bits)
 	}
 	v, err := e.prepared.GetOrCompute(key, func() (any, error) {
 		p := &prep{effTh: sc.BER}
 		switch sc.Policy {
 		case PolicyBaseline:
-			layout, err := e.fw.LayoutForWeights(weightCount, nil)
+			layout, err := e.fw.LayoutForWeightsIn(format, weightCount, nil)
 			if err != nil {
 				return nil, err
 			}
 			p.layout = layout
 		case PolicySparkXD:
-			layout, th, err := e.fw.MapAdaptiveWithProfile(profile, weightCount, sc.BER)
+			layout, th, err := e.fw.MapAdaptiveWithProfileIn(format, profile, weightCount, sc.BER)
 			if err != nil {
 				return nil, fmt.Errorf("engine: scenario %s: %w", sc.Key(), err)
 			}
@@ -434,11 +617,12 @@ func (e *Engine) prepFor(sc Scenario, profileKey string, profile *errmodel.Profi
 	return v.(*prep), nil
 }
 
-// corruptInto serializes the master weights into the scratch image,
-// injects the scenario's bit errors, and deserializes into the scratch
-// weight buffer — the pooled equivalent of core.CorruptWeights.
-func (e *Engine) corruptInto(s *scratch, weights []float32, p *prep, r *rng.Stream) (int64, error) {
-	need := e.fw.Format.ImageSize(len(weights), p.layout.UnitBytes())
+// corruptInto serializes the master weights into the scratch image in
+// the scenario's stored-weight format, injects the scenario's bit
+// errors, and deserializes into the scratch weight buffer — the pooled
+// equivalent of core.CorruptWeights.
+func (e *Engine) corruptInto(s *scratch, weights []float32, p *prep, format quant.Format, r *rng.Stream) (int64, error) {
+	need := format.ImageSize(len(weights), p.layout.UnitBytes())
 	if cap(s.img) < need {
 		s.img = make([]byte, need)
 	}
@@ -446,10 +630,10 @@ func (e *Engine) corruptInto(s *scratch, weights []float32, p *prep, r *rng.Stre
 	// Serialize leaves padding bytes untouched; zero them so a reused
 	// buffer cannot leak the previous scenario's bits into this one
 	// (Model3 failure probabilities are data-dependent).
-	for i := len(weights) * e.fw.Format.BytesPerWeight(); i < need; i++ {
+	for i := len(weights) * format.BytesPerWeight(); i < need; i++ {
 		s.img[i] = 0
 	}
-	if err := quant.Serialize(weights, e.fw.Format, s.img); err != nil {
+	if err := quant.Serialize(weights, format, s.img); err != nil {
 		return 0, fmt.Errorf("engine: serialize: %w", err)
 	}
 	flips := p.inj.Inject(s.img, p.layout, r)
@@ -457,7 +641,7 @@ func (e *Engine) corruptInto(s *scratch, weights []float32, p *prep, r *rng.Stre
 		s.w = make([]float32, len(weights))
 	}
 	s.w = s.w[:len(weights)]
-	if err := quant.Deserialize(s.img, e.fw.Format, s.w); err != nil {
+	if err := quant.Deserialize(s.img, format, s.w); err != nil {
 		return 0, fmt.Errorf("engine: deserialize: %w", err)
 	}
 	return flips, nil

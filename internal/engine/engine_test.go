@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
+	"sparkxd/internal/coding"
 	"sparkxd/internal/core"
 	"sparkxd/internal/dataset"
 	"sparkxd/internal/errmodel"
@@ -207,5 +210,177 @@ func TestSpecValidate(t *testing.T) {
 	}
 	if err := base.Validate(); err != nil {
 		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// uniformSpec matches the second half of the committed scenario-key
+// golden: three uniform BER points, no voltage axis.
+func uniformSpec() Spec {
+	return Spec{
+		Uniform:  true,
+		BERs:     []float64{0, 1e-4, 1e-2},
+		Kinds:    []errmodel.Kind{errmodel.Model0},
+		Policies: []string{PolicyBaseline},
+		Seed:     5,
+		EvalSeed: 17,
+	}
+}
+
+// TestScenarioKeysGolden pins scenario keys (and therefore cache keys
+// and RNG derivation paths) to the committed pre-refactor golden. A
+// diff here means existing sweep artifacts and job results silently
+// changed identity.
+func TestScenarioKeysGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "scenario_keys.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, sc := range append(gridSpec(1).Scenarios(), uniformSpec().Scenarios()...) {
+		got = append(got, sc.Key())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d scenario keys, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scenario %d key = %q, golden %q", i, got[i], want[i])
+		}
+	}
+}
+
+// multiAxisSpec extends the legacy grid with every new axis: 24 legacy
+// scenarios x 2 bitwidths x 2 prune levels x 2 encoders = 192.
+func multiAxisSpec(workers int) Spec {
+	spec := gridSpec(workers)
+	spec.Bitwidths = []int{0, 16}
+	spec.PruneLevels = []float64{0, 0.5}
+	spec.Encoders = []EncoderAxis{{}, {Name: "ttfs", Coder: coding.TTFS{}}}
+	return spec
+}
+
+// TestScenarioKeyAxisElision: default axis values leave the key in its
+// legacy 4-segment shape; non-defaults append fixed-format suffixes.
+func TestScenarioKeyAxisElision(t *testing.T) {
+	base := Scenario{Voltage: 1.1, BER: 1e-5, Kind: errmodel.Model0, Policy: PolicyBaseline}
+	if got, want := base.Key(), "v1.1000/ber1.000e-05/model0-uniform/baseline"; got != want {
+		t.Fatalf("legacy key = %q, want %q", got, want)
+	}
+	full := base
+	full.Bits = 16
+	full.Prune = 0.5
+	full.Encoder = EncoderAxis{Name: "ttfs", Coder: coding.TTFS{}}
+	want := "v1.1000/ber1.000e-05/model0-uniform/baseline/bw16/pr0.5000/enc-ttfs"
+	if got := full.Key(); got != want {
+		t.Fatalf("extended key = %q, want %q", got, want)
+	}
+
+	// Suffixes are independent: each non-default axis appears alone.
+	one := base
+	one.Prune = 0.25
+	if got, want := one.Key(), base.Key()+"/pr0.2500"; got != want {
+		t.Fatalf("prune-only key = %q, want %q", got, want)
+	}
+}
+
+// TestMultiAxisScenarioEnumeration: the grid is the full cross product
+// and every key is distinct (so per-scenario RNG streams stay distinct
+// on new axes too).
+func TestMultiAxisScenarioEnumeration(t *testing.T) {
+	spec := multiAxisSpec(1)
+	scs := spec.Scenarios()
+	if len(scs) != 192 {
+		t.Fatalf("got %d scenarios, want 192 (24 legacy x 2 x 2 x 2)", len(scs))
+	}
+	seenKey := map[string]bool{}
+	seenStream := map[uint64]string{}
+	for _, sc := range scs {
+		k := sc.Key()
+		if seenKey[k] {
+			t.Fatalf("duplicate scenario key %q", k)
+		}
+		seenKey[k] = true
+		v := rng.New(spec.Seed).Derive("job/" + k).Derive("inject").Uint64()
+		if prev, dup := seenStream[v]; dup {
+			t.Fatalf("scenarios %q and %q derive identical streams", prev, k)
+		}
+		seenStream[v] = k
+	}
+}
+
+// TestMultiAxisDeterministicAcrossWorkers extends the workers-1-vs-N
+// byte-identity contract (DESIGN.md §7) to the bitwidth, pruning, and
+// encoder axes.
+func TestMultiAxisDeterministicAcrossWorkers(t *testing.T) {
+	net, test := testFixture(t)
+	ctx := context.Background()
+
+	// Trim the voltage/BER axes to keep the grid small: 1x1x2x2 legacy
+	// x 2 bitwidths x 2 prune levels x 2 encoders = 32 scenarios.
+	shrink := func(workers int) Spec {
+		spec := multiAxisSpec(workers)
+		spec.Voltages = spec.Voltages[:1]
+		spec.BERs = spec.BERs[:1]
+		return spec
+	}
+	one, err := New(core.NewFramework()).Run(ctx, net, test, shrink(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := New(core.NewFramework()).Run(ctx, net, test, shrink(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("workers=1 and workers=8 diverge on extended axes:\n%s\n---\n%s", a, b)
+	}
+	if len(one) != 32 {
+		t.Fatalf("got %d results, want 32", len(one))
+	}
+	for _, r := range one {
+		if r.Bitwidth != 0 && r.Bitwidth != 16 {
+			t.Errorf("result %s echoes bitwidth %d", r.Key, r.Bitwidth)
+		}
+		if r.Encoder != "" && r.Encoder != "ttfs" {
+			t.Errorf("result %s echoes encoder %q", r.Key, r.Encoder)
+		}
+	}
+}
+
+// TestSpecValidateExtendedAxes covers the new-axis rejections.
+func TestSpecValidateExtendedAxes(t *testing.T) {
+	base := gridSpec(1)
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"unsupported bitwidth", func(s *Spec) { s.Bitwidths = []int{8} }},
+		{"negative prune", func(s *Spec) { s.PruneLevels = []float64{-0.1} }},
+		{"prune of everything", func(s *Spec) { s.PruneLevels = []float64{1} }},
+		{"encoder name without coder", func(s *Spec) { s.Encoders = []EncoderAxis{{Name: "ttfs"}} }},
+		{"encoder coder without name", func(s *Spec) { s.Encoders = []EncoderAxis{{Coder: coding.TTFS{}}} }},
+	}
+	for _, tc := range cases {
+		spec := base
+		tc.mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid spec", tc.name)
+		}
+	}
+	valid := multiAxisSpec(1)
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid multi-axis spec rejected: %v", err)
 	}
 }

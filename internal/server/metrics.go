@@ -33,6 +33,11 @@ type serverMetrics struct {
 	leaseOps *metrics.CounterVec
 	sse      *metrics.Gauge
 	storeOps *metrics.CounterVec
+	// sweepAxis accumulates, per scenario axis, the resolved axis
+	// cardinality of every created (non-duplicate) sweep job — the
+	// operator's view of which axes the scenario space is actually being
+	// swept along.
+	sweepAxis *metrics.CounterVec
 }
 
 // newServerMetrics builds the registry and binds the read-through
@@ -58,6 +63,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Live server-sent-event subscriber connections."),
 		storeOps: r.NewCounterVec("sparkxd_store_ops_total",
 			"Artifact store operations through the server.", "op"),
+		sweepAxis: r.NewCounterVec("sparkxd_sweep_axis_scenarios_total",
+			"Resolved axis cardinalities of created sweep jobs, by axis.", "axis"),
 	}
 	r.NewGaugeFunc("sparkxd_queue_depth",
 		"Jobs queued and not yet claimed by any executor.",
@@ -110,6 +117,29 @@ func (m *serverMetrics) observeTerminal(rec *jobRec, outcome, executor string) {
 	if !rec.queuedAt.IsZero() {
 		m.jobLatency.With(rec.status.Spec.Kind).Observe(time.Since(rec.queuedAt).Seconds())
 	}
+}
+
+// observeSweepAxes records a created sweep job's resolved per-axis
+// scenario cardinalities. The spec is normalized, so the legacy axes are
+// always filled in and the extended axes are nil whenever they sit at
+// the configured default (cardinality 1).
+func (m *serverMetrics) observeSweepAxes(sw *sparkxd.SweepSpec) {
+	if sw == nil {
+		return
+	}
+	card := func(n int) uint64 {
+		if n == 0 {
+			return 1
+		}
+		return uint64(n)
+	}
+	m.sweepAxis.With("voltages").Add(card(len(sw.Voltages)))
+	m.sweepAxis.With("bers").Add(card(len(sw.BERs)))
+	m.sweepAxis.With("error_models").Add(card(len(sw.ErrorModels)))
+	m.sweepAxis.With("policies").Add(card(len(sw.Policies)))
+	m.sweepAxis.With("bitwidths").Add(card(len(sw.Bitwidths)))
+	m.sweepAxis.With("prune_levels").Add(card(len(sw.PruneLevels)))
+	m.sweepAxis.With("encoders").Add(card(len(sw.Encoders)))
 }
 
 // meteredStore wraps the server's artifact store, counting gets and

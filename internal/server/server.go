@@ -332,6 +332,9 @@ func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
 		queuedAt: time.Now(),
 	}
 	s.metrics.submitted.With("created").Inc()
+	if norm.Kind == sparkxd.JobSweep {
+		s.metrics.observeSweepAxes(norm.Sweep)
+	}
 	s.jobs[id] = rec
 	s.queue = append(s.queue, rec)
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "queued", Message: id})

@@ -35,11 +35,21 @@ func (es *EncodedSet) Len() int { return len(es.trains) }
 // seed identity (Derive is a pure function of the seed words, so equal
 // identity means equal derived streams), same step count and encoder.
 func (es *EncodedSet) Matches(cfg *Config, ds *dataset.Dataset, r *rng.Stream) bool {
+	return es.MatchesFor(ds, r, cfg.Steps, cfg.Encoder.Name())
+}
+
+// MatchesFor is Matches against an explicit (steps, encoder name) pair
+// instead of a network config — the sweep engine's encoder axis caches
+// sets encoded with encoders other than the network's own.
+func (es *EncodedSet) MatchesFor(ds *dataset.Dataset, r *rng.Stream, steps int, encName string) bool {
 	return es.ds == ds &&
 		es.seed == r.SeedIdentity() &&
-		es.steps == cfg.Steps &&
-		es.enc == cfg.Encoder.Name()
+		es.steps == steps &&
+		es.enc == encName
 }
+
+// EncoderName returns the Name() of the encoder the set was built with.
+func (es *EncodedSet) EncoderName() string { return es.enc }
 
 // EncodeDataset pre-encodes every sample of ds into spike trains using
 // the same per-sample derived streams as EvaluateCtx. DeriveIndex never
@@ -47,11 +57,22 @@ func (es *EncodedSet) Matches(cfg *Config, ds *dataset.Dataset, r *rng.Stream) b
 // result is bit-identical for any worker count (workers <= 0 means
 // GOMAXPROCS).
 func (n *Network) EncodeDataset(ctx context.Context, ds *dataset.Dataset, r *rng.Stream, workers int) (*EncodedSet, error) {
+	return n.EncodeDatasetWith(ctx, ds, nil, r, workers)
+}
+
+// EncodeDatasetWith is EncodeDataset with an explicit encoder (nil means
+// the network's own). The per-sample streams are identical regardless of
+// the encoder, so sets encoded from the same seed stay paired across an
+// encoder sweep.
+func (n *Network) EncodeDatasetWith(ctx context.Context, ds *dataset.Dataset, enc coding.Encoder, r *rng.Stream, workers int) (*EncodedSet, error) {
+	if enc == nil {
+		enc = n.Cfg.Encoder
+	}
 	es := &EncodedSet{
 		ds:     ds,
 		seed:   r.SeedIdentity(),
 		steps:  n.Cfg.Steps,
-		enc:    n.Cfg.Encoder.Name(),
+		enc:    enc.Name(),
 		trains: make([]coding.Train, ds.Len()),
 	}
 	total := ds.Len()
@@ -64,7 +85,7 @@ func (n *Network) EncodeDataset(ctx context.Context, ds *dataset.Dataset, r *rng
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			es.trains[s] = n.Cfg.Encoder.Encode(ds.Images[s], n.Cfg.Steps, r.DeriveIndex("eval", s))
+			es.trains[s] = enc.Encode(ds.Images[s], n.Cfg.Steps, r.DeriveIndex("eval", s))
 		}
 		return es, nil
 	}
@@ -78,7 +99,7 @@ func (n *Network) EncodeDataset(ctx context.Context, ds *dataset.Dataset, r *rng
 				if ctx.Err() != nil {
 					return
 				}
-				es.trains[s] = n.Cfg.Encoder.Encode(ds.Images[s], n.Cfg.Steps, r.DeriveIndex("eval", s))
+				es.trains[s] = enc.Encode(ds.Images[s], n.Cfg.Steps, r.DeriveIndex("eval", s))
 			}
 		}()
 	}

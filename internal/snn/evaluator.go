@@ -3,6 +3,7 @@ package snn
 import (
 	"context"
 
+	"sparkxd/internal/coding"
 	"sparkxd/internal/dataset"
 	"sparkxd/internal/rng"
 )
@@ -29,6 +30,7 @@ import (
 type Evaluator struct {
 	clone   *Network
 	theta   []float32 // pristine adaptive thresholds of the source network
+	srcEnc  coding.Encoder
 	workers int
 	enc     *EncodedSet
 }
@@ -48,8 +50,22 @@ func NewEvaluatorWorkers(n *Network, workers int) *Evaluator {
 	return &Evaluator{
 		clone:   c,
 		theta:   append([]float32(nil), c.Pool.Theta...),
+		srcEnc:  c.Cfg.Encoder,
 		workers: workers,
 	}
+}
+
+// SetEncoder switches the evaluator's clone to enc (nil restores the
+// source network's encoder), so pre-encoded sets built with a
+// non-default encoder pass EvaluateEncoded's identity check. Evaluation
+// reads only the pre-encoded trains — the encoder never feeds the
+// neuron-dynamics pass — so accuracy over a given EncodedSet is
+// unaffected by which encoder was last set.
+func (e *Evaluator) SetEncoder(enc coding.Encoder) {
+	if enc == nil {
+		enc = e.srcEnc
+	}
+	e.clone.Cfg.Encoder = enc
 }
 
 // EvaluateWeights loads the weight image w into the evaluator's clone

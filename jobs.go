@@ -260,6 +260,27 @@ func (s JobSpec) normalizedSweep() (*SweepSpec, error) {
 		}
 		sw.Policies = canon
 	}
+	// The extended axes normalize the other way: an omitted axis stays
+	// nil (omitempty), and a spelled-out single-element axis equal to the
+	// configured default elides back to nil, so both spellings hash to
+	// the job ID a pre-N-axis spec produced.
+	q, err := ParseQuantization(s.Config.Quantization)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidJobSpec, err)
+	}
+	def, err := q.format()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidJobSpec, err)
+	}
+	if sw.Bitwidths, err = canonBitwidthAxis(sw.Bitwidths, def); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidJobSpec, err)
+	}
+	if sw.PruneLevels, err = canonPruneAxis(sw.PruneLevels); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidJobSpec, err)
+	}
+	if sw.Encoders, err = canonEncoderAxis(sw.Encoders); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidJobSpec, err)
+	}
 	return &sw, nil
 }
 

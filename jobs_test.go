@@ -4,7 +4,10 @@
 package sparkxd_test
 
 import (
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"sparkxd"
@@ -207,5 +210,154 @@ func TestJobKindsDistinct(t *testing.T) {
 	}
 	if pid == sid {
 		t.Error("pipeline and sweep jobs share an ID")
+	}
+}
+
+// goldenJobSpecs reconstructs the exact specs whose IDs were captured in
+// testdata/golden/job_ids.json before the N-axis refactor. Their IDs
+// must never change: job identity is the dedup key of the whole fleet.
+func goldenJobSpecs() map[string]sparkxd.JobSpec {
+	return map[string]sparkxd.JobSpec{
+		"pipeline-default": {Kind: sparkxd.JobPipeline},
+		"pipeline-train": {Kind: sparkxd.JobPipeline, Stage: "train",
+			Config: sparkxd.ConfigSpec{Neurons: 100}},
+		"sweep-default": {Kind: sparkxd.JobSweep},
+		"sweep-explicit": {Kind: sparkxd.JobSweep,
+			Config: sparkxd.ConfigSpec{Voltage: 1.1, BERSchedule: []float64{1e-5, 1e-4}},
+			Sweep: &sparkxd.SweepSpec{
+				Voltages:    []float64{1.1},
+				BERs:        []float64{1e-5, 1e-4},
+				ErrorModels: []sparkxd.ErrorModel{sparkxd.ErrorModelUniform},
+				Policies:    []sparkxd.Policy{sparkxd.PolicySparkXD},
+			}},
+		"sweep-grid": {Kind: sparkxd.JobSweep,
+			Config: sparkxd.ConfigSpec{Neurons: 50},
+			Sweep: &sparkxd.SweepSpec{
+				Voltages:    []float64{1.1, 1.025},
+				BERs:        []float64{1e-6, 1e-5, 1e-4},
+				ErrorModels: []sparkxd.ErrorModel{sparkxd.ErrorModelUniform, sparkxd.ErrorModelDataDependent},
+				Policies:    []sparkxd.Policy{sparkxd.PolicyBaseline, sparkxd.PolicySparkXD},
+			}},
+	}
+}
+
+func TestJobSpecGoldenIDs(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden", "job_ids.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden map[string]string
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	specs := goldenJobSpecs()
+	if len(golden) != len(specs) {
+		t.Fatalf("golden file has %d entries, test reconstructs %d", len(golden), len(specs))
+	}
+	for name, spec := range specs {
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("%s: missing from golden file", name)
+			continue
+		}
+		id, err := spec.ID()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if id != want {
+			t.Errorf("%s: job ID drifted: got %s, golden %s", name, id, want)
+		}
+	}
+}
+
+func TestJobSpecExtendedAxisDefaultElision(t *testing.T) {
+	// Spelling out the default value of every extended axis must elide
+	// back to the omitted form: identical job ID, identical normalized
+	// spec.
+	base := sparkxd.JobSpec{Kind: sparkxd.JobSweep}
+	spelled := sparkxd.JobSpec{Kind: sparkxd.JobSweep, Sweep: &sparkxd.SweepSpec{
+		Bitwidths:   []int{32}, // default config quantization is fp32
+		PruneLevels: []float64{0},
+		Encoders:    []sparkxd.Encoder{sparkxd.EncoderRate},
+	}}
+	baseID, err := base.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelledID, err := spelled.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spelledID != baseID {
+		t.Errorf("spelled-out default axes changed the job ID: %s vs %s", spelledID, baseID)
+	}
+	norm, err := spelled.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Sweep.Bitwidths != nil || norm.Sweep.PruneLevels != nil || norm.Sweep.Encoders != nil {
+		t.Errorf("default axes survived normalization: %+v", norm.Sweep)
+	}
+
+	// Case-insensitive encoder aliases canonicalize to one identity.
+	alias := sparkxd.JobSpec{Kind: sparkxd.JobSweep, Sweep: &sparkxd.SweepSpec{
+		Encoders: []sparkxd.Encoder{"Time-To-First-Spike", "BURST"},
+	}}
+	canon := sparkxd.JobSpec{Kind: sparkxd.JobSweep, Sweep: &sparkxd.SweepSpec{
+		Encoders: []sparkxd.Encoder{sparkxd.EncoderTTFS, sparkxd.EncoderBurst},
+	}}
+	aliasID, err := alias.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonID, err := canon.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliasID != canonID {
+		t.Errorf("encoder alias spelling changed the job ID: %s vs %s", aliasID, canonID)
+	}
+	if aliasID == baseID {
+		t.Error("non-default encoder axis did not change the job ID")
+	}
+
+	// A non-default bitwidth under a non-default quantization elides too:
+	// fp16 config + [16] axis is the default again.
+	fp16Base := sparkxd.JobSpec{Kind: sparkxd.JobSweep,
+		Config: sparkxd.ConfigSpec{Quantization: "fp16"}}
+	fp16Spelled := sparkxd.JobSpec{Kind: sparkxd.JobSweep,
+		Config: sparkxd.ConfigSpec{Quantization: "fp16"},
+		Sweep:  &sparkxd.SweepSpec{Bitwidths: []int{16}}}
+	fp16BaseID, err := fp16Base.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp16SpelledID, err := fp16Spelled.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp16SpelledID != fp16BaseID {
+		t.Errorf("bitwidth 16 under fp16 config changed the job ID: %s vs %s", fp16SpelledID, fp16BaseID)
+	}
+}
+
+func TestJobSpecExtendedAxisInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		sw   sparkxd.SweepSpec
+	}{
+		{"bitwidth 8", sparkxd.SweepSpec{Bitwidths: []int{8}}},
+		{"prune 1.0", sparkxd.SweepSpec{PruneLevels: []float64{1.0}}},
+		{"prune negative", sparkxd.SweepSpec{PruneLevels: []float64{-0.1}}},
+		{"unknown encoder", sparkxd.SweepSpec{Encoders: []sparkxd.Encoder{"morse"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw := tc.sw
+			spec := sparkxd.JobSpec{Kind: sparkxd.JobSweep, Sweep: &sw}
+			if _, err := spec.Normalized(); !errors.Is(err, sparkxd.ErrInvalidJobSpec) {
+				t.Errorf("err = %v, want ErrInvalidJobSpec", err)
+			}
+		})
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"context"
 	"testing"
 
+	"sparkxd/internal/coding"
 	"sparkxd/internal/core"
 	"sparkxd/internal/dataset"
 	"sparkxd/internal/engine"
@@ -173,6 +174,42 @@ func BenchmarkSweepScenario(b *testing.B) {
 		Seed:     11,
 		EvalSeed: 7,
 		Workers:  4,
+	}
+	// Warm the caches so the measured iterations see the steady state.
+	if _, err := eng.Run(context.Background(), net, test, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), net, test, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepScenarioMultiAxis measures one all-non-default scenario
+// through the sweep engine — FP16 bitwidth, 50% magnitude pruning, TTFS
+// encoding — with caches warm. Against BenchmarkSweepScenario it prices
+// the marginal cost the extended axes add per grid point (re-encode into
+// the per-encoder set is cached; pruning re-copies the weight image).
+func BenchmarkSweepScenarioMultiAxis(b *testing.B) {
+	net, err := snn.New(snn.DefaultConfig(400), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	test := benchTestSet(b, 64)
+	eng := engine.New(core.NewFramework())
+	spec := engine.Spec{
+		BERs:        []float64{1e-4},
+		Kinds:       []errmodel.Kind{errmodel.Model0},
+		Policies:    []string{engine.PolicyBaseline},
+		Bitwidths:   []int{16},
+		PruneLevels: []float64{0.5},
+		Encoders:    []engine.EncoderAxis{{Name: "ttfs", Coder: coding.TTFS{}}},
+		Uniform:     true,
+		Seed:        11,
+		EvalSeed:    7,
+		Workers:     4,
 	}
 	// Warm the caches so the measured iterations see the steady state.
 	if _, err := eng.Run(context.Background(), net, test, spec); err != nil {

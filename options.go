@@ -266,6 +266,8 @@ type config struct {
 
 	sweepWorkers int
 
+	dataDir string
+
 	observer Observer
 }
 
@@ -431,6 +433,18 @@ func WithQuantization(q Quantization) Option {
 // worker count; this only tunes wall-clock time.
 func WithSweepWorkers(n int) Option {
 	return func(c *config) error { c.sweepWorkers = n; return nil }
+}
+
+// WithDataDir points the system at a directory of real MNIST-format IDX
+// files (train-images-idx3-ubyte and friends, plain or gzipped, probed
+// under dir/<dataset>/ then dir). When the files are present they
+// replace the synthetic generator, truncated to the configured sample
+// budgets; when absent the deterministic synthetic flavour is used as
+// always. Unset falls back to the SPARKXD_DATA_DIR environment
+// variable. The directory is an execution detail: it never enters job
+// identities, so the same sweep spec hashes the same with or without it.
+func WithDataDir(dir string) Option {
+	return func(c *config) error { c.dataDir = dir; return nil }
 }
 
 // WithObserver subscribes a hook to the pipeline's structured progress

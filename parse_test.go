@@ -156,3 +156,125 @@ func TestErrorModelJSONRoundTrip(t *testing.T) {
 		t.Error("unmarshal of unknown model must fail")
 	}
 }
+
+func TestParseEncoder(t *testing.T) {
+	cases := []struct {
+		in   string
+		want sparkxd.Encoder
+	}{
+		{"rate", sparkxd.EncoderRate},
+		{"RATE", sparkxd.EncoderRate},
+		{" Rate ", sparkxd.EncoderRate},
+		{"poisson", sparkxd.EncoderRate},
+		{"rate-poisson", sparkxd.EncoderRate},
+		{"rate-det", sparkxd.EncoderRateDet},
+		{"deterministic", sparkxd.EncoderRateDet},
+		{"rate-deterministic", sparkxd.EncoderRateDet},
+		{"ttfs", sparkxd.EncoderTTFS},
+		{"TTFS", sparkxd.EncoderTTFS},
+		{"time-to-first-spike", sparkxd.EncoderTTFS},
+		{"rank-order", sparkxd.EncoderRankOrder},
+		{"rankorder", sparkxd.EncoderRankOrder},
+		{"phase", sparkxd.EncoderPhase},
+		{"burst", sparkxd.EncoderBurst},
+	}
+	for _, tc := range cases {
+		got, err := sparkxd.ParseEncoder(tc.in)
+		if err != nil {
+			t.Errorf("ParseEncoder(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseEncoder(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// Unknown encoder names fail with an error that enumerates every valid
+// name, so CLI users can self-correct (PR 4 parser convention).
+func TestParseEncoderUnknownEnumeratesNames(t *testing.T) {
+	_, err := sparkxd.ParseEncoder("morse")
+	if err == nil {
+		t.Fatal("ParseEncoder(morse) must fail")
+	}
+	for _, name := range sparkxd.EncoderNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention valid name %q", err, name)
+		}
+	}
+}
+
+func TestParseBitwidth(t *testing.T) {
+	cases := []struct {
+		in   int
+		want sparkxd.Quantization
+	}{
+		{16, sparkxd.FP16},
+		{32, sparkxd.FP32},
+	}
+	for _, tc := range cases {
+		got, err := sparkxd.ParseBitwidth(tc.in)
+		if err != nil {
+			t.Errorf("ParseBitwidth(%d): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBitwidth(%d) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []int{0, 8, 24, 64, -16} {
+		if _, err := sparkxd.ParseBitwidth(bad); err == nil {
+			t.Errorf("ParseBitwidth(%d) must fail", bad)
+		} else if !strings.Contains(err.Error(), "16") || !strings.Contains(err.Error(), "32") {
+			t.Errorf("ParseBitwidth(%d) error %q does not enumerate valid widths", bad, err)
+		}
+	}
+}
+
+func TestValidatePruneLevel(t *testing.T) {
+	for _, ok := range []float64{0, 0.25, 0.5, 0.999} {
+		if err := sparkxd.ValidatePruneLevel(ok); err != nil {
+			t.Errorf("ValidatePruneLevel(%v): %v", ok, err)
+		}
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		if err := sparkxd.ValidatePruneLevel(bad); err == nil {
+			t.Errorf("ValidatePruneLevel(%v) must fail", bad)
+		}
+	}
+}
+
+// ErrorModelName bridges the two error-model vocabularies: spec names
+// ("uniform") and scenario-key names ("model0-uniform") both resolve to
+// the same ErrorModel, and ScenarioName round-trips every model.
+func TestErrorModelNameRoundTrip(t *testing.T) {
+	models := []sparkxd.ErrorModel{
+		sparkxd.ErrorModelUniform,
+		sparkxd.ErrorModelBitline,
+		sparkxd.ErrorModelWordline,
+		sparkxd.ErrorModelDataDependent,
+	}
+	for _, m := range models {
+		name, err := m.ScenarioName()
+		if err != nil {
+			t.Errorf("%v.ScenarioName(): %v", m, err)
+			continue
+		}
+		back, err := name.Model()
+		if err != nil {
+			t.Errorf("%q.Model(): %v", name, err)
+			continue
+		}
+		if back != m {
+			t.Errorf("round trip %v -> %q -> %v", m, name, back)
+		}
+		// The spec-name spelling parses too.
+		spec, err := sparkxd.ErrorModelName(m.String()).Model()
+		if err != nil || spec != m {
+			t.Errorf("spec spelling %q: got %v, %v", m.String(), spec, err)
+		}
+	}
+	if _, err := sparkxd.ErrorModelName("model9-quantum").Model(); err == nil {
+		t.Error("unknown scenario name must fail")
+	}
+}

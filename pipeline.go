@@ -53,10 +53,24 @@ func (p *Pipeline) data() (*datasetT, *datasetT, error) {
 	return p.sys.datasets()
 }
 
-// datasets generates the configured (train, test) pair once and caches
-// it for the lifetime of the System.
+// datasets resolves the configured (train, test) pair once and caches
+// it for the lifetime of the System: real IDX files when a data
+// directory is configured and holds them, the deterministic synthetic
+// generator otherwise.
 func (s *System) datasets() (*datasetT, *datasetT, error) {
 	s.dataOnce.Do(func() {
+		if s.cfg.dataDir != "" {
+			train, test, found, err := dataset.LoadIDX(s.cfg.dataDir, s.cfg.flavor)
+			if err != nil {
+				s.dsErr = fmt.Errorf("load %s dataset from %s: %w", s.cfg.flavor, s.cfg.dataDir, err)
+				return
+			}
+			if found {
+				s.dsTrain = train.Subset(s.cfg.trainN)
+				s.dsTest = test.Subset(s.cfg.testN)
+				return
+			}
+		}
 		dcfg := dataset.DefaultConfig(s.cfg.flavor)
 		dcfg.Train, dcfg.Test = s.cfg.trainN, s.cfg.testN
 		train, test, err := dataset.Generate(dcfg)

@@ -16,4 +16,5 @@ run() { # bench-regex iterations
 run '^BenchmarkLIFStep$' 2000x
 run '^BenchmarkEvaluate$' 20x
 run '^BenchmarkSweepScenario$' 20x
+run '^BenchmarkSweepScenarioMultiAxis$' 20x
 run '^BenchmarkInject(Wordline)?$' 200x

@@ -3,6 +3,7 @@ package sparkxd
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 
 	"sparkxd/internal/core"
@@ -79,6 +80,9 @@ func New(opts ...Option) (*System, error) {
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, fmt.Errorf("sparkxd: %w", err)
+	}
+	if cfg.dataDir == "" {
+		cfg.dataDir = os.Getenv("SPARKXD_DATA_DIR")
 	}
 	fw := core.NewFramework()
 	fw.ErrKind = cfg.errKind

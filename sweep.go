@@ -22,6 +22,18 @@ type SweepSpec struct {
 	ErrorModels []ErrorModel `json:"error_models,omitempty"`
 	// Policies are the mapping policies to place the weights with.
 	Policies []Policy `json:"policies,omitempty"`
+	// Bitwidths are stored-weight bitwidths to sweep (16 = FP16, 32 =
+	// FP32); empty means the configured quantization only. A spelled-out
+	// axis equal to the configured default is canonicalized back to
+	// omitted, so both spellings share one job identity.
+	Bitwidths []int `json:"bitwidths,omitempty"`
+	// PruneLevels are pruned weight fractions (by magnitude) to sweep,
+	// each in [0, 1); empty means unpruned only.
+	PruneLevels []float64 `json:"prune_levels,omitempty"`
+	// Encoders are the spike encoders to evaluate under; empty means the
+	// network's own (rate) encoder only. Evaluation reads trains encoded
+	// per axis point; training always uses the network's encoder.
+	Encoders []Encoder `json:"encoders,omitempty"`
 	// Workers bounds the evaluation pool (<= 0: the WithSweepWorkers
 	// option, then GOMAXPROCS). The report is byte-identical for any
 	// value.
@@ -36,9 +48,16 @@ type SweepPoint struct {
 	Voltage float64 `json:"voltage"`
 	// BER is the requested tolerance threshold of the scenario.
 	BER float64 `json:"ber"`
-	// ErrorModel names the EDEN error model injected.
-	ErrorModel string `json:"error_model"`
-	Policy     Policy `json:"policy"`
+	// ErrorModel names the EDEN error model injected (scenario
+	// vocabulary, e.g. "model0-uniform").
+	ErrorModel ErrorModelName `json:"error_model"`
+	Policy     Policy         `json:"policy"`
+	// Bitwidth, PruneLevel, and Encoder echo the scenario's extended-axis
+	// values; the zero value means the configured default (the field is
+	// then omitted, matching pre-N-axis artifacts).
+	Bitwidth   int     `json:"bitwidth,omitempty"`
+	PruneLevel float64 `json:"prune_level,omitempty"`
+	Encoder    Encoder `json:"encoder,omitempty"`
 	// EffectiveBERth is the threshold actually used (the sparkxd policy
 	// relaxes the requested one until the image fits).
 	EffectiveBERth float64 `json:"effective_ber_th"`
@@ -65,11 +84,18 @@ type SweepReport struct {
 	// BaselineAcc is the model's error-free accuracy (zero if never
 	// measured).
 	BaselineAcc float64 `json:"baseline_acc"`
-	// The resolved grid axes.
-	Voltages    []float64 `json:"voltages"`
-	BERs        []float64 `json:"bers"`
-	ErrorModels []string  `json:"error_models"`
-	Policies    []Policy  `json:"policies"`
+	// The resolved grid axes. Every axis echo is typed; error models use
+	// the scenario vocabulary ("model0-uniform"), the stable artifact
+	// spelling since the first sweep release. The extended axes are
+	// omitted when the grid left them at the configured default, so
+	// 4-axis artifacts are byte-identical to pre-N-axis ones.
+	Voltages    []float64        `json:"voltages"`
+	BERs        []float64        `json:"bers"`
+	ErrorModels []ErrorModelName `json:"error_models"`
+	Policies    []Policy         `json:"policies"`
+	Bitwidths   []int            `json:"bitwidths,omitempty"`
+	PruneLevels []float64        `json:"prune_levels,omitempty"`
+	Encoders    []Encoder        `json:"encoders,omitempty"`
 	// Points holds one record per scenario, sorted by Key.
 	Points []SweepPoint `json:"points"`
 }
@@ -94,10 +120,11 @@ func (p *Pipeline) Sweep(ctx context.Context, spec SweepSpec) (*SweepReport, err
 	if err != nil {
 		return nil, wrapStage("sweep", err)
 	}
-	espec, kinds, err := p.sys.engineSpec(spec)
+	rs, err := p.sys.resolveSweep(spec)
 	if err != nil {
 		return nil, err
 	}
+	espec := rs.espec
 
 	scenarios := len(espec.Scenarios())
 	p.sys.notify(Event{Stage: "sweep", Phase: "start", Epochs: scenarios,
@@ -114,18 +141,24 @@ func (p *Pipeline) Sweep(ctx context.Context, spec SweepSpec) (*SweepReport, err
 		Voltages:    espec.Voltages,
 		BERs:        espec.BERs,
 		Policies:    append([]Policy(nil), resolvePolicies(spec.Policies)...),
+		Bitwidths:   rs.bitwidths,
+		PruneLevels: rs.pruneLevels,
+		Encoders:    rs.encoders,
 		Points:      make([]SweepPoint, len(results)),
 	}
-	for _, k := range kinds {
-		report.ErrorModels = append(report.ErrorModels, k.String())
+	for _, k := range rs.kinds {
+		report.ErrorModels = append(report.ErrorModels, ErrorModelName(k.String()))
 	}
 	for i, r := range results {
 		report.Points[i] = SweepPoint{
 			Key:            r.Key,
 			Voltage:        r.Voltage,
 			BER:            r.BER,
-			ErrorModel:     r.Kind,
+			ErrorModel:     ErrorModelName(r.Kind),
 			Policy:         Policy(r.Policy),
+			Bitwidth:       r.Bitwidth,
+			PruneLevel:     r.PruneLevel,
+			Encoder:        Encoder(r.Encoder),
 			EffectiveBERth: r.EffectiveBERth,
 			SafeSubarrays:  r.SafeSubarrays,
 			FlippedBits:    r.FlippedBits,
@@ -143,13 +176,28 @@ func (p *Pipeline) Sweep(ctx context.Context, spec SweepSpec) (*SweepReport, err
 // front-ends can reject a malformed grid before spending time training;
 // failures satisfy errors.Is(err, ErrInvalidSweep).
 func (s *System) ValidateSweep(spec SweepSpec) error {
-	_, _, err := s.engineSpec(spec)
+	_, err := s.resolveSweep(spec)
 	return err
 }
 
-// engineSpec resolves a public SweepSpec against the system defaults and
-// translates it to the internal engine's grid, validating every axis.
-func (s *System) engineSpec(spec SweepSpec) (engine.Spec, []errmodel.Kind, error) {
+// resolvedSweep is a public SweepSpec resolved against the system
+// defaults: the engine grid plus the canonical public axis echoes the
+// report carries.
+type resolvedSweep struct {
+	espec engine.Spec
+	kinds []errmodel.Kind
+	// Canonicalized extended axes (nil when left at the default).
+	bitwidths   []int
+	pruneLevels []float64
+	encoders    []Encoder
+}
+
+// resolveSweep resolves a public SweepSpec against the system defaults
+// and translates it to the internal engine's grid, validating every
+// axis. Extended-axis values equal to the configured default map to the
+// engine's elided zero value, so their scenario keys — and therefore RNG
+// streams and artifacts — match the axis-less spelling exactly.
+func (s *System) resolveSweep(spec SweepSpec) (resolvedSweep, error) {
 	cfg := &s.cfg
 	voltages := spec.Voltages
 	if len(voltages) == 0 {
@@ -166,7 +214,7 @@ func (s *System) engineSpec(spec SweepSpec) (engine.Spec, []errmodel.Kind, error
 		for _, m := range spec.ErrorModels {
 			k, err := m.kind()
 			if err != nil {
-				return engine.Spec{}, nil, invalidSweep(err)
+				return resolvedSweep{}, invalidSweep(err)
 			}
 			kinds = append(kinds, k)
 		}
@@ -179,18 +227,59 @@ func (s *System) engineSpec(spec SweepSpec) (engine.Spec, []errmodel.Kind, error
 		case PolicySparkXD:
 			policies = append(policies, engine.PolicySparkXD)
 		default:
-			return engine.Spec{}, nil, invalidSweep(fmt.Errorf("unknown policy %q", pol))
+			return resolvedSweep{}, invalidSweep(fmt.Errorf("unknown policy %q", pol))
 		}
 	}
+
+	bitAxis, err := canonBitwidthAxis(spec.Bitwidths, cfg.format)
+	if err != nil {
+		return resolvedSweep{}, invalidSweep(err)
+	}
+	pruneAxis, err := canonPruneAxis(spec.PruneLevels)
+	if err != nil {
+		return resolvedSweep{}, invalidSweep(err)
+	}
+	encAxis, err := canonEncoderAxis(spec.Encoders)
+	if err != nil {
+		return resolvedSweep{}, invalidSweep(err)
+	}
+	// Per-value elision: within a multi-value axis, the value equal to
+	// the configured default becomes the engine's zero value and is
+	// elided from scenario keys.
+	var engBits []int
+	for _, b := range bitAxis {
+		q, _ := ParseBitwidth(b)
+		if f, err := q.format(); err == nil && f == cfg.format {
+			engBits = append(engBits, 0)
+		} else {
+			engBits = append(engBits, b)
+		}
+	}
+	var engEncs []engine.EncoderAxis
+	for _, e := range encAxis {
+		if e == EncoderRate {
+			engEncs = append(engEncs, engine.EncoderAxis{})
+			continue
+		}
+		c, err := e.coder()
+		if err != nil {
+			return resolvedSweep{}, invalidSweep(err)
+		}
+		engEncs = append(engEncs, engine.EncoderAxis{Name: string(e), Coder: c})
+	}
+
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = cfg.sweepWorkers
 	}
 	espec := engine.Spec{
-		Voltages: append([]float64(nil), voltages...),
-		BERs:     append([]float64(nil), bers...),
-		Kinds:    kinds,
-		Policies: policies,
+		Voltages:    append([]float64(nil), voltages...),
+		BERs:        append([]float64(nil), bers...),
+		Kinds:       kinds,
+		Policies:    policies,
+		Bitwidths:   engBits,
+		PruneLevels: append([]float64(nil), pruneAxis...),
+		Encoders:    engEncs,
 		// The seed family matches EvaluateUnderErrors (trainSeed+2 roots
 		// injection, trainSeed+3 drives paired spike encoding), so sweep
 		// accuracies are comparable with the single-scenario stage.
@@ -199,9 +288,15 @@ func (s *System) engineSpec(spec SweepSpec) (engine.Spec, []errmodel.Kind, error
 		Workers:  workers,
 	}
 	if err := espec.Validate(); err != nil {
-		return engine.Spec{}, nil, invalidSweep(err)
+		return resolvedSweep{}, invalidSweep(err)
 	}
-	return espec, kinds, nil
+	return resolvedSweep{
+		espec:       espec,
+		kinds:       kinds,
+		bitwidths:   bitAxis,
+		pruneLevels: pruneAxis,
+		encoders:    encAxis,
+	}, nil
 }
 
 // resolvePolicies applies the default mapping-policy axis.

@@ -1,9 +1,11 @@
 package sparkxd_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -213,5 +215,136 @@ func TestSweepReportRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(rep, loaded) {
 		t.Fatalf("round trip mismatch:\nsaved:  %+v\nloaded: %+v", rep, loaded)
+	}
+}
+
+// TestSweepReportGolden byte-compares a full sweep artifact against the
+// committed pre-refactor golden: the N-axis refactor must not move a
+// single byte of existing reports (field order, axis echoes, point
+// values, or formatting).
+func TestSweepReportGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "sweep_report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trainedPipeline(t, tinySystem(t))
+	rep, err := p.Sweep(context.Background(), sparkxd.SweepSpec{
+		BERs:    []float64{1e-5, 1e-4},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sweep artifact diverged from pre-refactor golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// multiAxisGrid extends the legacy grid with every new axis; trimmed to
+// 1 voltage x 1 BER so the cross product stays at 32 scenarios.
+func multiAxisGrid(workers int) sparkxd.SweepSpec {
+	spec := sweepGrid(workers)
+	spec.Voltages = spec.Voltages[:1]
+	spec.BERs = spec.BERs[:1]
+	spec.Bitwidths = []int{32, 16}
+	spec.PruneLevels = []float64{0, 0.5}
+	spec.Encoders = []sparkxd.Encoder{sparkxd.EncoderRate, sparkxd.EncoderTTFS}
+	return spec
+}
+
+// TestSweepMultiAxisDeterministicAcrossWorkers: the workers-1-vs-8
+// byte-identity contract holds on the bitwidth, pruning, and encoder
+// axes, and the report echoes the resolved axes.
+func TestSweepMultiAxisDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training skipped in -short mode")
+	}
+	p := trainedPipeline(t, tinySystem(t))
+	one, err := p.Sweep(context.Background(), multiAxisGrid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := p.Sweep(context.Background(), multiAxisGrid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.MarshalIndent(one, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(many, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("workers=1 and workers=8 diverge on extended axes:\n%s\n---\n%s", a, b)
+	}
+	if len(one.Points) != 32 {
+		t.Fatalf("got %d points, want 32 (4 legacy x 2 x 2 x 2)", len(one.Points))
+	}
+	if !reflect.DeepEqual(one.Bitwidths, []int{32, 16}) {
+		t.Errorf("bitwidth echo = %v", one.Bitwidths)
+	}
+	if !reflect.DeepEqual(one.PruneLevels, []float64{0, 0.5}) {
+		t.Errorf("prune echo = %v", one.PruneLevels)
+	}
+	if !reflect.DeepEqual(one.Encoders, []sparkxd.Encoder{sparkxd.EncoderRate, sparkxd.EncoderTTFS}) {
+		t.Errorf("encoder echo = %v", one.Encoders)
+	}
+	// Per-value elision: the default bitwidth (fp32 config) and rate
+	// encoder report as zero values; non-defaults echo through points.
+	var sawBW16, sawTTFS, sawPruned bool
+	for _, pt := range one.Points {
+		switch pt.Bitwidth {
+		case 0:
+		case 16:
+			sawBW16 = true
+		default:
+			t.Fatalf("point %v echoes bitwidth %d", pt, pt.Bitwidth)
+		}
+		if pt.Encoder == sparkxd.EncoderTTFS {
+			sawTTFS = true
+		}
+		if pt.PruneLevel == 0.5 {
+			sawPruned = true
+		}
+	}
+	if !sawBW16 || !sawTTFS || !sawPruned {
+		t.Fatalf("points missing extended-axis echoes: bw16=%v ttfs=%v pruned=%v", sawBW16, sawTTFS, sawPruned)
+	}
+}
+
+// TestSweepDefaultAxisElision: spelling out the single default value of
+// each new axis resolves to the identical report shape as omitting it
+// (the axis echo collapses to nil).
+func TestSweepDefaultAxisElision(t *testing.T) {
+	sys := tinySystem(t)
+	spelled := sparkxd.SweepSpec{
+		Bitwidths:   []int{32},
+		PruneLevels: []float64{0},
+		Encoders:    []sparkxd.Encoder{sparkxd.EncoderRate},
+	}
+	if err := sys.ValidateSweep(spelled); err != nil {
+		t.Fatalf("spelled-out defaults rejected: %v", err)
+	}
+	bad := sparkxd.SweepSpec{Bitwidths: []int{8}}
+	if err := sys.ValidateSweep(bad); !errors.Is(err, sparkxd.ErrInvalidSweep) {
+		t.Fatalf("bitwidth 8: err = %v, want ErrInvalidSweep", err)
+	}
+	bad = sparkxd.SweepSpec{PruneLevels: []float64{1}}
+	if err := sys.ValidateSweep(bad); !errors.Is(err, sparkxd.ErrInvalidSweep) {
+		t.Fatalf("prune 1.0: err = %v, want ErrInvalidSweep", err)
+	}
+	bad = sparkxd.SweepSpec{Encoders: []sparkxd.Encoder{"morse"}}
+	if err := sys.ValidateSweep(bad); !errors.Is(err, sparkxd.ErrInvalidSweep) {
+		t.Fatalf("unknown encoder: err = %v, want ErrInvalidSweep", err)
 	}
 }
