@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-record bench-check vet fmt-check shard-smoke sweep-smoke serve-smoke fleet-smoke loadgen-smoke examples-smoke lint vuln ci
+.PHONY: build test race bench bench-record bench-check vet fmt-check shard-smoke sweep-smoke serve-smoke fleet-smoke federation-smoke loadgen-smoke examples-smoke lint vuln ci
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,14 @@ serve-smoke: build
 fleet-smoke: build
 	./scripts/fleet-smoke.sh
 
+# Federation smoke: a `sparkxd store serve` shared store + two sharded
+# coordinators + two workers; a mixed batch submitted through one
+# coordinator (the CLI follows 421 misdirects), one coordinator killed
+# -9 mid-queue and replaced (queued jobs restored from durable records),
+# every artifact `cmp`-identical to the in-process sweep.
+federation-smoke: build
+	./scripts/federation-smoke.sh
+
 # Observability/admission smoke: coordinator with tight per-submitter
 # rate limiting + two workers with /metrics endpoints, driven by
 # `sparkxd loadgen`; asserts a clean v1 report (0 failed, 429s retried
@@ -91,4 +99,4 @@ lint:
 vuln:
 	govulncheck ./...
 
-ci: build vet fmt-check race bench examples-smoke sweep-smoke serve-smoke fleet-smoke loadgen-smoke
+ci: build vet fmt-check race bench examples-smoke sweep-smoke serve-smoke fleet-smoke federation-smoke loadgen-smoke

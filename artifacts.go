@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 
 	"sparkxd/internal/mapping"
 	"sparkxd/internal/snn"
@@ -246,14 +247,47 @@ type (
 	ArtifactEnvelope = store.Envelope
 )
 
-// OpenStore opens (creating if needed) a filesystem artifact store
-// rooted at dir.
-func OpenStore(dir string) (ArtifactStore, error) {
-	st, err := store.NewFS(dir)
+// OpenStore opens an artifact store named by location: an http:// or
+// https:// URL opens a remote store speaking the artifact wire protocol
+// (see RemoteStore); anything else opens (creating if needed) a
+// filesystem store rooted at that directory. Every -store/-artifacts/
+// -resume flag accepting a directory therefore accepts a remote store
+// URL too.
+func OpenStore(location string) (ArtifactStore, error) {
+	if IsStoreURL(location) {
+		return RemoteStore(location)
+	}
+	st, err := store.NewFS(location)
 	if err != nil {
 		return nil, fmt.Errorf("sparkxd: %w", err)
 	}
 	return st, nil
+}
+
+// IsStoreURL reports whether a store location names a remote store
+// (http:// or https://) rather than a local directory.
+func IsStoreURL(location string) bool {
+	return strings.HasPrefix(location, "http://") || strings.HasPrefix(location, "https://")
+}
+
+// RemoteStore opens an artifact store served over HTTP at baseURL —
+// `sparkxd store serve` or any coordinator's /v1/artifacts endpoints.
+// Reads re-verify content addresses end to end, writes are idempotent
+// PUTs, and transient failures retry with jittered backoff.
+func RemoteStore(baseURL string, opts ...store.HTTPOption) (ArtifactStore, error) {
+	st, err := store.NewHTTP(baseURL, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sparkxd: %w", err)
+	}
+	return st, nil
+}
+
+// ReadThroughStore layers a local cache over a remote store: Gets served
+// locally when possible, fetched remotely (and cached) otherwise, and
+// Puts written through to the remote. Safe because artifacts are
+// immutable content-addressed envelopes.
+func ReadThroughStore(local, remote ArtifactStore) ArtifactStore {
+	return store.NewReadThrough(local, remote)
 }
 
 // MemoryStore returns an in-memory artifact store (tests, ephemeral

@@ -46,10 +46,15 @@ var (
 	ErrNotFound = errors.New("client: not found")
 )
 
-// Client talks to one sparkxd job server.
+// Client talks to one sparkxd job server — or to a federation of them:
+// a 421 Misdirected Request from a sharded coordinator carries the
+// owning peer's address, and the client transparently re-issues the
+// request there, so callers address any federation member and reach the
+// right shard.
 type Client struct {
 	base       string
 	hc         *http.Client
+	timeout    time.Duration
 	poll       time.Duration
 	submitter  string
 	onThrottle func(delay time.Duration)
@@ -58,9 +63,30 @@ type Client struct {
 // Option configures a Client.
 type Option func(*Client)
 
-// WithHTTPClient replaces the underlying *http.Client.
+// WithHTTPClient replaces the underlying *http.Client, so the job
+// client can share transport configuration (connection pools, TLS)
+// with other clients of the same service — e.g. a remote store client
+// (store.NewHTTP) talking to the same coordinator. Do not set the
+// http.Client's own Timeout field: it would sever long-lived SSE event
+// streams; use WithTimeout for per-request bounds instead.
 func WithHTTPClient(hc *http.Client) Option {
-	return func(c *Client) { c.hc = hc }
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithTimeout bounds each non-streaming request/response round trip
+// (submit, status, artifact fetch). Zero — the default — leaves
+// requests bounded only by their context. Event streams are exempt: an
+// SSE connection legitimately stays open for a job's whole lifetime.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
 }
 
 // WithPollInterval sets Wait's initial poll interval (backoff grows
@@ -166,7 +192,9 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	c := &Client{base: base, hc: http.DefaultClient, poll: 100 * time.Millisecond}
+	// A fresh client rather than http.DefaultClient, so per-process
+	// transport tuning via WithHTTPClient never mutates shared globals.
+	c := &Client{base: base, hc: &http.Client{}, poll: 100 * time.Millisecond}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -296,18 +324,34 @@ func (e *streamDropped) Unwrap() error { return e.err }
 
 // streamEvents runs one SSE connection, resuming after *lastID and
 // advancing it as events are delivered. It reports whether any event
-// was delivered on this connection.
+// was delivered on this connection. Like do, it follows a sharded
+// coordinator's 421 redirect to the owning peer before streaming; the
+// stream itself is never bounded by WithTimeout.
 func (c *Client) streamEvents(ctx context.Context, id string, lastID *int, fn func(sparkxd.Event) error) (progressed bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
-	if err != nil {
-		return false, fmt.Errorf("client: %w", err)
-	}
-	if *lastID >= 0 {
-		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastID))
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return false, &streamDropped{err}
+	base := c.base
+	var resp *http.Response
+	for hops := 0; ; {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			return false, fmt.Errorf("client: %w", err)
+		}
+		if *lastID >= 0 {
+			req.Header.Set("Last-Event-ID", strconv.Itoa(*lastID))
+		}
+		resp, err = c.hc.Do(req)
+		if err != nil {
+			return false, &streamDropped{err}
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			owner := misdirectOwner(resp)
+			if owner != "" && hops < maxShardHops {
+				hops++
+				base = strings.TrimRight(owner, "/")
+				continue
+			}
+			return false, fmt.Errorf("client: job %s routed to an unreachable shard (after %d hops)", id, hops)
+		}
+		break
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -368,7 +412,9 @@ func (c *Client) Artifact(ctx context.Context, key sparkxd.ArtifactKey) (*sparkx
 	if err := key.Validate(); err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/artifacts/"+string(key), nil)
+	reqCtx, cancel := c.reqContext(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, c.base+"/v1/artifacts/"+string(key), nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -434,22 +480,32 @@ func fetch[T any](ctx context.Context, c *Client, key sparkxd.ArtifactKey, wantK
 	return &v, nil
 }
 
+// maxShardHops bounds how many 421 redirects one call follows: a sane
+// federation resolves in one hop, and the bound keeps a misconfigured
+// peer list (two shards pointing at each other) from looping forever.
+const maxShardHops = 4
+
 // do performs one JSON request/response round trip. A 429 answer is
 // retried (not surfaced): the request is replayed after the larger of
 // the server's Retry-After and the jittered exponential backoff, until
 // the context is cancelled. Every request in this API is idempotent —
 // submission by deterministic job ID, the rest read-only — so replaying
-// is always safe.
+// is always safe. A 421 Misdirected Request is followed to the owning
+// federation peer named in its body (bounded by maxShardHops).
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
 	plan := waitPlan{initial: 100 * time.Millisecond, max: 5 * time.Second, factor: 1.6, jitter: 0.2}
 	backoff := plan.initial
+	base := c.base
+	hops := 0
 	for {
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		reqCtx, cancel := c.reqContext(ctx)
+		req, err := http.NewRequestWithContext(reqCtx, method, base+path, rd)
 		if err != nil {
+			cancel()
 			return fmt.Errorf("client: %w", err)
 		}
 		if body != nil {
@@ -460,12 +516,24 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			cancel()
 			return fmt.Errorf("client: %w", err)
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			owner := misdirectOwner(resp)
+			cancel()
+			if owner != "" && hops < maxShardHops {
+				hops++
+				base = strings.TrimRight(owner, "/")
+				continue
+			}
+			return fmt.Errorf("client: job routed to an unreachable shard (after %d hops)", hops)
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 			resp.Body.Close()
+			cancel()
 			delay := plan.jittered(backoff)
 			if retryAfter > delay {
 				delay = retryAfter
@@ -483,6 +551,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			}
 			continue
 		}
+		defer cancel()
 		defer resp.Body.Close()
 		if resp.StatusCode/100 != 2 {
 			return c.errorFrom(resp)
@@ -495,6 +564,30 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 		return nil
 	}
+}
+
+// reqContext bounds one non-streaming round trip by the client's
+// WithTimeout; with no timeout configured the caller's context is used
+// as-is (the returned cancel is then a no-op).
+func (c *Client) reqContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return ctx, func() {}
+}
+
+// misdirectOwner extracts the owning peer's address from a 421 body
+// ({"error":..., "owner":...}) and closes it; "" when absent.
+func misdirectOwner(resp *http.Response) string {
+	defer resp.Body.Close()
+	var ae struct {
+		Owner string `json:"owner"`
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil || json.Unmarshal(b, &ae) != nil {
+		return ""
+	}
+	return strings.TrimSpace(ae.Owner)
 }
 
 // parseRetryAfter reads a Retry-After header's delay-seconds form (the

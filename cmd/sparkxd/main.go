@@ -35,12 +35,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -66,7 +68,10 @@ Commands:
   sweep     evaluate one model over a (voltage x BER x error model x
             policy) scenario grid on the batched sweep engine
   serve     run the HTTP job service over a content-addressed store
-            (-dispatch fleet|hybrid coordinates remote workers)
+            (-dispatch fleet|hybrid coordinates remote workers;
+            -shard i/m federates coordinators over the job-ID space)
+  store     expose a local artifact store over HTTP ("store serve") so
+            coordinators, workers, and CLI runs can share one store
   worker    join a coordinator as a fleet worker: lease, execute,
             upload, complete
   job       talk to a running job service (submit, status, wait,
@@ -103,6 +108,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runSweep(ctx, args[1:], stdout, stderr)
 	case "serve":
 		return runServe(ctx, args[1:], stdout, stderr)
+	case "store":
+		return runStore(ctx, args[1:], stdout, stderr)
 	case "worker":
 		return runWorker(ctx, args[1:], stdout, stderr)
 	case "job":
@@ -329,8 +336,8 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		seed     = fs.Uint64("seed", 1, "random seed")
 		workers  = fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		jsonOut  = fs.Bool("json", false, "emit the SweepReport as JSON on stdout")
-		artDir   = fs.String("artifacts", "", "directory to persist the model and sweep report")
-		resume   = fs.String("resume", "", "directory with a persisted improved model to sweep (skips training)")
+		artDir   = fs.String("artifacts", "", "directory or store URL to persist the model and sweep report")
+		resume   = fs.String("resume", "", "directory or store URL with a persisted improved model to sweep (skips training)")
 		quiet    = fs.Bool("quiet", false, "suppress progress events on stderr")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
@@ -534,8 +541,8 @@ func runSingle(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		epochs    = fs.Int("epochs", 2, "error-free training epochs")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		quiet     = fs.Bool("quiet", false, "suppress progress events on stderr")
-		artifacts = fs.String("artifacts", "", "directory to persist stage artifacts (model, tolerance, placement)")
-		resume    = fs.String("resume", "", "directory with persisted artifacts to resume from (skips training)")
+		artifacts = fs.String("artifacts", "", "directory or store URL to persist stage artifacts (model, tolerance, placement)")
+		resume    = fs.String("resume", "", "directory or store URL with persisted artifacts to resume from (skips training)")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
 		return code
@@ -632,18 +639,25 @@ func runSingle(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	return 0
 }
 
-// An -artifacts directory is a content-addressed store plus a
-// manifest.json mapping stage roles ("improved", "tolerance", ...) to
-// the store keys of the latest run, so -resume can find "the improved
-// model" without knowing its content hash.
+// An -artifacts location is a content-addressed store plus a manifest
+// mapping stage roles ("improved", "tolerance", ...) to the store keys
+// of the latest run, so -resume can find "the improved model" without
+// knowing its content hash. A directory keeps the manifest in
+// manifest.json; a remote store (`sparkxd store serve`) keeps it behind
+// GET/PUT /v1/manifest, merged server-side.
 const manifestName = "manifest.json"
 
-// writeManifest merges roles into the directory's manifest: roles
+// writeManifest merges roles into the location's manifest: roles
 // persisted by earlier runs (e.g. `single -artifacts` before a
-// `sweep -artifacts` into the same directory) keep their entries
-// unless this run re-recorded them.
-func writeManifest(dir string, roles map[string]sparkxd.ArtifactKey) error {
-	merged, err := readManifest(dir)
+// `sweep -artifacts` into the same location) keep their entries
+// unless this run re-recorded them. For a remote store the merge is
+// done by the server (one writer, mutex-guarded), so this just PUTs the
+// delta.
+func writeManifest(location string, roles map[string]sparkxd.ArtifactKey) error {
+	if sparkxd.IsStoreURL(location) {
+		return putRemoteManifest(location, roles)
+	}
+	merged, err := readManifest(location)
 	if err != nil {
 		return err
 	}
@@ -657,16 +671,19 @@ func writeManifest(dir string, roles map[string]sparkxd.ArtifactKey) error {
 	if err != nil {
 		return fmt.Errorf("write manifest: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), append(b, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(location, manifestName), append(b, '\n'), 0o644); err != nil {
 		return fmt.Errorf("write manifest: %w", err)
 	}
 	return nil
 }
 
-// readManifest loads the role -> key map; (nil, nil) when dir has no
-// manifest (nothing persisted there yet).
-func readManifest(dir string) (map[string]sparkxd.ArtifactKey, error) {
-	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+// readManifest loads the role -> key map; (nil, nil) when the location
+// has no manifest (nothing persisted there yet).
+func readManifest(location string) (map[string]sparkxd.ArtifactKey, error) {
+	if sparkxd.IsStoreURL(location) {
+		return getRemoteManifest(location)
+	}
+	b, err := os.ReadFile(filepath.Join(location, manifestName))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, nil
@@ -675,9 +692,60 @@ func readManifest(dir string) (map[string]sparkxd.ArtifactKey, error) {
 	}
 	var roles map[string]sparkxd.ArtifactKey
 	if err := json.Unmarshal(b, &roles); err != nil {
-		return nil, fmt.Errorf("read manifest %s: %w", filepath.Join(dir, manifestName), err)
+		return nil, fmt.Errorf("read manifest %s: %w", filepath.Join(location, manifestName), err)
 	}
 	return roles, nil
+}
+
+// manifestURL derives the manifest endpoint of a remote store base URL.
+func manifestURL(base string) string {
+	return strings.TrimRight(base, "/") + "/v1/manifest"
+}
+
+// getRemoteManifest fetches the role map from a store server; a 404
+// means nothing has been persisted there yet.
+func getRemoteManifest(base string) (map[string]sparkxd.ArtifactKey, error) {
+	resp, err := http.Get(manifestURL(base))
+	if err != nil {
+		return nil, fmt.Errorf("read manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("read manifest %s: server returned %s", manifestURL(base), resp.Status)
+	}
+	var roles map[string]sparkxd.ArtifactKey
+	if err := json.NewDecoder(resp.Body).Decode(&roles); err != nil {
+		return nil, fmt.Errorf("read manifest %s: %w", manifestURL(base), err)
+	}
+	return roles, nil
+}
+
+// putRemoteManifest sends a role delta to a store server, which merges
+// it into the stored manifest.
+func putRemoteManifest(base string, roles map[string]sparkxd.ArtifactKey) error {
+	b, err := json.Marshal(roles)
+	if err != nil {
+		return fmt.Errorf("write manifest: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPut, manifestURL(base), bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("write manifest: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("write manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("write manifest %s: server returned %s", manifestURL(base), resp.Status)
+	}
+	return nil
 }
 
 // resumeDir is an opened -resume directory: its store and manifest,

@@ -41,6 +41,11 @@ func TestDispatcher(t *testing.T) {
 		{"job unknown subcommand", []string{"job", "bogus"}, 2, `unknown command "bogus"`, ""},
 		{"job help", []string{"job", "help"}, 0, "", "Usage:"},
 		{"job submit -h", []string{"job", "submit", "-h"}, 0, "-spec", ""},
+		{"store no subcommand", []string{"store"}, 2, "missing subcommand", ""},
+		{"store unknown subcommand", []string{"store", "bogus"}, 2, `unknown subcommand "bogus"`, ""},
+		{"store help", []string{"store", "help"}, 0, "", "store serve"},
+		{"store serve -h", []string{"store", "serve", "-h"}, 0, "-addr", ""},
+		{"store serve bad flag", []string{"store", "serve", "-no-such-flag"}, 2, "flag provided but not defined", ""},
 		{"job status missing id", []string{"job", "status"}, 2, "-id is required", ""},
 		{"job wait missing id", []string{"job", "wait"}, 2, "-id is required", ""},
 		{"job fetch missing key", []string{"job", "fetch"}, 2, "-key is required", ""},

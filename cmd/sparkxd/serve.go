@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sparkxd"
+	"sparkxd/internal/sched"
 	"sparkxd/internal/server"
 )
 
@@ -26,24 +27,39 @@ import (
 // batches are started, in-flight jobs get -drain-timeout to finish (the
 // HTTP API stays up so workers can still upload and complete), and
 // whatever is left is requeued instead of stranded in "running".
+//
+// With -shard i/m and -peers, the server joins a federation: it owns
+// only the job IDs hashing to slice i and answers the rest with 421 +
+// the owning peer's address, which clients follow transparently. A
+// remote -store URL (see `sparkxd store serve`) lets all members share
+// one artifact store — the durable job records there are what a
+// replacement coordinator restores and requeues on startup.
 func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sparkxd serve", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		storeDir = fs.String("store", "", "artifact store directory (empty = in-memory, lost on exit)")
-		workers  = fs.Int("workers", 0, "local job execution pool size (0 = GOMAXPROCS)")
-		dispatch = fs.String("dispatch", "local", "who executes jobs: local, fleet (remote workers only), or hybrid")
-		leaseTTL = fs.Duration("lease-ttl", server.DefaultLeaseTTL, "worker lease TTL (silent workers expire and their jobs requeue)")
-		drain    = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled server waits for in-flight jobs before requeueing them")
-		maxWarm  = fs.Int("max-warm-systems", 0, "bound on cached warm System engines, LRU-evicted (0 = unbounded)")
-		rate     = fs.Float64("rate", 0, "per-submitter job submissions per second before 429 (0 = no admission control)")
-		burst    = fs.Int("burst", 0, "admission token-bucket burst (0 = max(1, rate))")
-		quiet    = fs.Bool("quiet", false, "suppress job lifecycle logs on stderr")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		storeDir  = fs.String("store", "", "artifact store directory or remote store URL (empty = in-memory, lost on exit)")
+		workers   = fs.Int("workers", 0, "local job execution pool size (0 = GOMAXPROCS)")
+		dispatch  = fs.String("dispatch", "local", "who executes jobs: local, fleet (remote workers only), or hybrid")
+		leaseTTL  = fs.Duration("lease-ttl", server.DefaultLeaseTTL, "worker lease TTL (silent workers expire and their jobs requeue)")
+		drain     = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled server waits for in-flight jobs before requeueing them")
+		maxWarm   = fs.Int("max-warm-systems", 0, "bound on cached warm System engines, LRU-evicted (0 = unbounded)")
+		rate      = fs.Float64("rate", 0, "per-submitter job submissions per second before 429 (0 = no admission control)")
+		burst     = fs.Int("burst", 0, "admission token-bucket burst (0 = max(1, rate))")
+		shardSpec = fs.String("shard", "", "own slice i/m of the job-ID space in a federation (e.g. 1/2; needs -peers)")
+		peers     = fs.String("peers", "", "comma-separated base URLs of all m federation coordinators, shard order")
+		cacheDir  = fs.String("cache", "", "local read-through cache directory in front of a remote -store URL")
+		quiet     = fs.Bool("quiet", false, "suppress job lifecycle logs on stderr")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
 		return code
 	}
 	mode, err := server.ParseDispatch(*dispatch)
+	if err != nil {
+		fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
+		return 2
+	}
+	shard, err := sched.ParseShard(*shardSpec)
 	if err != nil {
 		fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
 		return 2
@@ -57,6 +73,18 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		}
 	} else {
 		st = sparkxd.MemoryStore()
+	}
+	if *cacheDir != "" {
+		if !sparkxd.IsStoreURL(*storeDir) {
+			fmt.Fprintln(stderr, "sparkxd serve: -cache only makes sense in front of a remote -store URL")
+			return 2
+		}
+		cache, err := sparkxd.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)
+			return 1
+		}
+		st = sparkxd.ReadThroughStore(cache, st)
 	}
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(stderr, "serve: "+format+"\n", a...)
@@ -72,6 +100,9 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		MaxWarmSystems: *maxWarm,
 		Rate:           *rate,
 		Burst:          *burst,
+		ShardIndex:     shard.Index,
+		ShardCount:     shard.Count,
+		Peers:          splitList(*peers),
 		Logf:           logf,
 	})
 	if err != nil {

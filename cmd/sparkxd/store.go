@@ -1,0 +1,200 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"sparkxd"
+	"sparkxd/internal/store"
+)
+
+// runStore dispatches the `sparkxd store` subcommands. Today there is
+// one: `store serve`, which exposes a local artifact store over the
+// same GET/PUT /v1/artifacts wire a coordinator speaks, so a federation
+// of coordinators, workers, and CLI runs can share one remote store.
+func runStore(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "sparkxd store: missing subcommand (want: serve)")
+		return 2
+	}
+	switch args[0] {
+	case "serve":
+		return runStoreServe(ctx, args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		fmt.Fprintln(stdout, "Usage: sparkxd store serve [flags]")
+		return 0
+	default:
+		fmt.Fprintf(stderr, "sparkxd store: unknown subcommand %q (want: serve)\n", args[0])
+		return 2
+	}
+}
+
+// runStoreServe serves a local artifact store over HTTP: integrity-
+// verified GET /v1/artifacts/{key}, idempotent PUT /v1/artifacts/{key},
+// kind listings on GET /v1/artifacts, plus GET/PUT /v1/manifest so
+// `-artifacts http://...` CLI runs can record and resume role → key
+// maps remotely. The listening address is printed on stdout
+// ("listening on http://HOST:PORT") like `sparkxd serve`, so scripts
+// can bind -addr to port 0 and discover the port.
+func runStoreServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sparkxd store serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
+		storeDir = fs.String("store", "", "artifact store directory (empty = in-memory, lost on exit)")
+		quiet    = fs.Bool("quiet", false, "suppress request logs on stderr")
+	)
+	if code, done := parseFlags(fs, args, stderr); done {
+		return code
+	}
+
+	var st sparkxd.ArtifactStore
+	if *storeDir != "" {
+		var err error
+		if st, err = sparkxd.OpenStore(*storeDir); err != nil {
+			fmt.Fprintf(stderr, "sparkxd store serve: %v\n", err)
+			return 1
+		}
+	} else {
+		st = sparkxd.MemoryStore()
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", store.NewHandler(st))
+	man := &manifestEndpoint{dir: *storeDir}
+	mux.HandleFunc("GET /v1/manifest", man.handleGet)
+	mux.HandleFunc("PUT /v1/manifest", man.handlePut)
+
+	var handler http.Handler = mux
+	if !*quiet {
+		handler = logRequests(stderr, mux)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "sparkxd store serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: handler}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutCtx)
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "sparkxd store serve: %v\n", err)
+		return 1
+	}
+	<-done
+	return 0
+}
+
+// manifestEndpoint serves the shared role → key manifest of a store
+// server. Writes merge server-side under one mutex, so concurrent
+// `-artifacts http://...` runs interleave without losing roles (the
+// same merge a directory store gets from writeManifest). A dir-backed
+// endpoint persists through manifest.json next to the artifacts; an
+// in-memory one lives and dies with the process, like its store.
+type manifestEndpoint struct {
+	mu  sync.Mutex
+	dir string
+	mem map[string]sparkxd.ArtifactKey
+}
+
+func (m *manifestEndpoint) handleGet(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	roles, err := m.load()
+	m.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if len(roles) == 0 {
+		http.Error(w, "no manifest", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, _ := json.MarshalIndent(roles, "", "  ")
+	w.Write(append(b, '\n'))
+}
+
+func (m *manifestEndpoint) handlePut(w http.ResponseWriter, r *http.Request) {
+	var delta map[string]sparkxd.ArtifactKey
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&delta); err != nil {
+		http.Error(w, "bad manifest body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	roles, err := m.load()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if roles == nil {
+		roles = make(map[string]sparkxd.ArtifactKey, len(delta))
+	}
+	for role, key := range delta {
+		roles[role] = key
+	}
+	if err := m.save(roles); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// load reads the current manifest (caller holds m.mu).
+func (m *manifestEndpoint) load() (map[string]sparkxd.ArtifactKey, error) {
+	if m.dir == "" {
+		return m.mem, nil
+	}
+	return readManifest(m.dir)
+}
+
+// save persists the merged manifest (caller holds m.mu).
+func (m *manifestEndpoint) save(roles map[string]sparkxd.ArtifactKey) error {
+	if m.dir == "" {
+		m.mem = roles
+		return nil
+	}
+	return writeManifest(m.dir, roles)
+}
+
+// logRequests prints one line per request, the store server's whole
+// observability story: method, path, status, and payload size.
+func logRequests(w io.Writer, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		lw := &loggedResponse{ResponseWriter: rw, status: http.StatusOK}
+		next.ServeHTTP(lw, r)
+		fmt.Fprintf(w, "store: %s %s -> %d (%d bytes)\n", r.Method, r.URL.Path, lw.status, lw.bytes)
+	})
+}
+
+type loggedResponse struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (l *loggedResponse) WriteHeader(code int) {
+	l.status = code
+	l.ResponseWriter.WriteHeader(code)
+}
+
+func (l *loggedResponse) Write(b []byte) (int, error) {
+	n, err := l.ResponseWriter.Write(b)
+	l.bytes += n
+	return n, err
+}

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"time"
 
+	"sparkxd"
+	"sparkxd/internal/store"
 	"sparkxd/internal/worker"
 )
 
@@ -18,17 +20,24 @@ import (
 // complete. SIGINT/SIGTERM drains: in-flight jobs get -drain-timeout to
 // finish; whatever is still running has its lease released so the
 // coordinator requeues it immediately.
+//
+// In a federation, -store points the worker at the shared artifact
+// store (a directory or a `sparkxd store serve` URL) so results bypass
+// the coordinator's upload endpoint; -cache layers a local read-through
+// cache in front of a remote store.
 func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sparkxd worker", flag.ContinueOnError)
 	var (
-		join    = fs.String("join", "http://127.0.0.1:8080", "coordinator base URL to join")
-		workers = fs.Int("workers", 0, "concurrent job slots (0 = GOMAXPROCS; also sizes the sweep pool)")
-		name    = fs.String("name", "", "worker name (default <hostname>-<pid>)")
-		poll    = fs.Duration("poll", 500*time.Millisecond, "idle lease poll interval")
-		drain   = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled worker keeps finishing in-flight jobs")
-		maxWarm = fs.Int("max-warm-systems", 0, "bound on cached warm System engines, LRU-evicted (0 = unbounded)")
-		metrics = fs.String("metrics", "", "serve Prometheus metrics on this address (host:port; port 0 picks a free port; empty = off)")
-		quiet   = fs.Bool("quiet", false, "suppress lease lifecycle logs on stderr")
+		join     = fs.String("join", "http://127.0.0.1:8080", "coordinator base URL to join")
+		workers  = fs.Int("workers", 0, "concurrent job slots (0 = GOMAXPROCS; also sizes the sweep pool)")
+		name     = fs.String("name", "", "worker name (default <hostname>-<pid>)")
+		poll     = fs.Duration("poll", 500*time.Millisecond, "idle lease poll interval")
+		drain    = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled worker keeps finishing in-flight jobs")
+		maxWarm  = fs.Int("max-warm-systems", 0, "bound on cached warm System engines, LRU-evicted (0 = unbounded)")
+		storeLoc = fs.String("store", "", "shared artifact store (directory or store URL); empty = upload via the coordinator")
+		cacheDir = fs.String("cache", "", "local read-through cache directory in front of a remote -store URL")
+		metrics  = fs.String("metrics", "", "serve Prometheus metrics on this address (host:port; port 0 picks a free port; empty = off)")
+		quiet    = fs.Bool("quiet", false, "suppress lease lifecycle logs on stderr")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
 		return code
@@ -40,6 +49,38 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	if *quiet {
 		logf = nil
 	}
+	// One transport for both the lease protocol and a remote store, so
+	// they share connection pools toward the same hosts; the timeout
+	// matches newCoordClient's default client.
+	hc := &http.Client{Timeout: 30 * time.Second}
+	var st sparkxd.ArtifactStore
+	if *storeLoc != "" {
+		var err error
+		if sparkxd.IsStoreURL(*storeLoc) {
+			st, err = sparkxd.RemoteStore(*storeLoc, store.WithHTTPClient(hc))
+		} else {
+			st, err = sparkxd.OpenStore(*storeLoc)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "sparkxd worker: %v\n", err)
+			return 1
+		}
+		if *cacheDir != "" {
+			if !sparkxd.IsStoreURL(*storeLoc) {
+				fmt.Fprintln(stderr, "sparkxd worker: -cache only makes sense in front of a remote -store URL")
+				return 2
+			}
+			cache, err := sparkxd.OpenStore(*cacheDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "sparkxd worker: %v\n", err)
+				return 1
+			}
+			st = sparkxd.ReadThroughStore(cache, st)
+		}
+	} else if *cacheDir != "" {
+		fmt.Fprintln(stderr, "sparkxd worker: -cache needs a remote -store URL")
+		return 2
+	}
 	w, err := worker.New(worker.Config{
 		Coordinator:    *join,
 		Name:           *name,
@@ -47,6 +88,8 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		Poll:           *poll,
 		DrainTimeout:   *drain,
 		MaxWarmSystems: *maxWarm,
+		HTTPClient:     hc,
+		Store:          st,
 		Logf:           logf,
 	})
 	if err != nil {

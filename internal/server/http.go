@@ -1,11 +1,9 @@
 package server
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 
@@ -14,10 +12,6 @@ import (
 	"sparkxd/internal/metrics"
 	"sparkxd/internal/store"
 )
-
-// maxUploadBytes bounds one worker artifact upload (trained models for
-// the largest paper configurations are far below this).
-const maxUploadBytes = 256 << 20
 
 // Handler returns the server's HTTP API:
 //
@@ -29,6 +23,9 @@ const maxUploadBytes = 256 << 20
 //	                                from the start (or from Last-Event-ID)
 //	                                and streamed until the job reaches a
 //	                                terminal state
+//	GET    /v1/artifacts            Info listing of one artifact kind
+//	                                (?kind=; federation peers preload job
+//	                                records through it)
 //	GET    /v1/artifacts/{key...}   the stored envelope of one artifact key
 //	PUT    /v1/artifacts/{key...}   upload an envelope (fleet workers;
 //	                                verified against its content address)
@@ -46,12 +43,18 @@ const maxUploadBytes = 256 << 20
 // When admission control is enabled (Config.Rate > 0), POST /v1/jobs
 // may answer 429 with a Retry-After header; all other routes are never
 // throttled.
+//
+// On a sharded coordinator (Config.ShardCount > 1), the job routes
+// answer 421 Misdirected Request — with the owning peer's address in
+// the error body — for job IDs hashing to another shard; the artifact,
+// worker, and lease routes are shard-agnostic (one shared namespace).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/artifacts", s.handleArtifactList)
 	mux.HandleFunc("GET /v1/artifacts/{key...}", s.handleArtifact)
 	mux.HandleFunc("PUT /v1/artifacts/{key...}", s.handleArtifactPut)
 	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
@@ -69,9 +72,12 @@ func (s *Server) Handler() http.Handler {
 // Metrics exposes the server's registry (worker-side and test use).
 func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }
 
-// apiError is the JSON error body of every non-2xx response.
+// apiError is the JSON error body of every non-2xx response. Owner is
+// set only on 421 Misdirected Request: the base URL of the federation
+// peer owning the job, which clients follow transparently.
 type apiError struct {
 	Error string `json:"error"`
+	Owner string `json:"owner,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -84,6 +90,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeMisdirect answers 421 with the owning peer's address, the
+// federation's redirect: the client re-issues the request against
+// Owner.
+func (s *Server) writeMisdirect(w http.ResponseWriter, jobID, owner string) {
+	s.metrics.misdirected.Inc()
+	writeJSON(w, http.StatusMisdirectedRequest, apiError{
+		Error: fmt.Sprintf("job %s belongs to shard peer %s", jobID, owner),
+		Owner: owner,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -114,6 +131,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	status, created, err := s.Submit(spec)
 	if err != nil {
+		var mis *MisdirectError
+		if errors.As(err, &mis) {
+			// Submit already counted the misdirect.
+			writeJSON(w, http.StatusMisdirectedRequest, apiError{Error: mis.Error(), Owner: mis.Owner})
+			return
+		}
 		code := http.StatusInternalServerError
 		result := "error"
 		if errors.Is(err, sparkxd.ErrInvalidJobSpec) {
@@ -139,6 +162,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	status, ok := s.Job(id)
 	if !ok {
+		if owner, mis := s.Owner(id); mis {
+			s.writeMisdirect(w, id, owner)
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
@@ -153,6 +180,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.Job(id); !ok {
+		if owner, mis := s.Owner(id); mis {
+			s.writeMisdirect(w, id, owner)
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
@@ -217,31 +248,45 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleArtifact serves one stored envelope. The error contract is the
+// artifact wire's (shared with `sparkxd store serve` and relied on by
+// the HTTP store client's sentinel mapping): a missing key path or an
+// absent artifact is 404, a malformed key 400, a store-side failure
+// 500. The key is validated before touching the store, so every
+// backend — including a remote one — reports malformed keys uniformly.
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	key := sparkxd.ArtifactKey(r.PathValue("key"))
-	env, err := s.st.Get(key)
-	switch {
-	case err == nil:
-	case errors.Is(err, store.ErrNotFound):
-		writeError(w, http.StatusNotFound, "%v", err)
+	if key == "" {
+		writeError(w, http.StatusNotFound, "no artifact key")
 		return
-	case errors.Is(err, store.ErrBadKey):
+	}
+	if err := key.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
-	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+	env, err := s.st.Get(key)
+	if err != nil {
+		store.WriteArtifactError(w, err)
 		return
 	}
 	// Serve the canonical envelope encoding, so what a client fetches
 	// hashes back to the key it asked for.
-	b, err := json.Marshal(env)
+	store.ServeEnvelope(w, env)
+}
+
+// handleArtifactList enumerates stored artifacts of one kind (?kind=,
+// empty for all). Federation peers use it to preload job records from a
+// coordinator-backed store the same way they would from `store serve`.
+func (s *Server) handleArtifactList(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.st.List(r.URL.Query().Get("kind"))
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		store.WriteArtifactError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	w.Write(append(b, '\n'))
+	if infos == nil {
+		infos = []sparkxd.ArtifactInfo{}
+	}
+	writeJSON(w, http.StatusOK, infos)
 }
 
 // handleArtifactPut accepts a worker-uploaded envelope. The bytes must
@@ -253,18 +298,9 @@ func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	b, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	env, code, err := store.ReadUploadedEnvelope(store.Key(key), r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "read upload: %v", err)
-		return
-	}
-	if len(b) > maxUploadBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", maxUploadBytes)
-		return
-	}
-	env, err := store.DecodeEnvelope(store.Key(key), bytes.TrimRight(b, "\r\n"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, code, "%v", err)
 		return
 	}
 	if err := s.PutUploadedArtifact(key, env); err != nil {

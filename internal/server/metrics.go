@@ -33,6 +33,9 @@ type serverMetrics struct {
 	leaseOps *metrics.CounterVec
 	sse      *metrics.Gauge
 	storeOps *metrics.CounterVec
+	// misdirected counts jobs refused with 421 because their ID hashes
+	// to another federation shard.
+	misdirected *metrics.Counter
 	// sweepAxis accumulates, per scenario axis, the resolved axis
 	// cardinality of every created (non-duplicate) sweep job — the
 	// operator's view of which axes the scenario space is actually being
@@ -63,6 +66,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Live server-sent-event subscriber connections."),
 		storeOps: r.NewCounterVec("sparkxd_store_ops_total",
 			"Artifact store operations through the server.", "op"),
+		misdirected: r.NewCounter("sparkxd_jobs_misdirected_total",
+			"Jobs refused with 421 because another federation shard owns them."),
 		sweepAxis: r.NewCounterVec("sparkxd_sweep_axis_scenarios_total",
 			"Resolved axis cardinalities of created sweep jobs, by axis.", "axis"),
 	}
@@ -101,7 +106,27 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.NewCounterFunc("sparkxd_sweep_profile_cache_misses_total",
 		"Device-profile sweep cache misses across cached engines (SweepCacheStats).",
 		func() uint64 { _, m := s.systems.SweepCacheStats(); return m })
+	// A coordinator backed by a read-through composite (remote store +
+	// local cache) surfaces the cache's counters; s.st is still the raw
+	// configured store here (the metered wrap happens after metrics).
+	if rt, ok := s.st.(*store.ReadThrough); ok {
+		registerReadThrough(r, rt)
+	}
 	return m
+}
+
+// registerReadThrough binds a read-through store's hit/miss/fill
+// counters into a registry (shared by the server and worker endpoints).
+func registerReadThrough(r *metrics.Registry, rt *store.ReadThrough) {
+	r.NewCounterFunc("sparkxd_store_cache_hits_total",
+		"Read-through store Gets served entirely from the local cache.",
+		func() uint64 { h, _, _ := rt.Stats(); return h })
+	r.NewCounterFunc("sparkxd_store_cache_misses_total",
+		"Read-through store Gets that consulted the remote store.",
+		func() uint64 { _, m, _ := rt.Stats(); return m })
+	r.NewCounterFunc("sparkxd_store_cache_fills_total",
+		"Remote envelopes copied into the read-through local cache.",
+		func() uint64 { _, _, f := rt.Stats(); return f })
 }
 
 // observeStage is the jobrun.StageObserver of locally executed jobs.

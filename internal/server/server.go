@@ -95,6 +95,16 @@ type Config struct {
 	Rate float64
 	// Burst is the admission token-bucket capacity (<= 0: max(1, Rate)).
 	Burst int
+	// ShardIndex/ShardCount split the job-ID space across a federation of
+	// coordinators sharing one artifact store: with ShardCount m > 1 this
+	// coordinator owns only job IDs hashing to slice ShardIndex (1-based),
+	// and submissions of the rest answer 421 Misdirected Request plus the
+	// owner's address. Zero ShardCount disables sharding.
+	ShardIndex int
+	ShardCount int
+	// Peers lists every shard's advertised base URL (len == ShardCount;
+	// Peers[ShardIndex-1] is this coordinator). Required when sharding.
+	Peers []string
 	// Logf, when non-nil, receives one line per job state transition.
 	Logf func(format string, args ...any)
 }
@@ -107,6 +117,7 @@ type Server struct {
 	workers  int
 	dispatch Dispatch
 	leaseTTL time.Duration
+	shard    shardInfo
 	logf     func(string, ...any)
 
 	ctx    context.Context
@@ -200,6 +211,10 @@ func New(cfg Config) (*Server, error) {
 	if leaseTTL <= 0 {
 		leaseTTL = DefaultLeaseTTL
 	}
+	shard := shardInfo{index: cfg.ShardIndex, count: cfg.ShardCount, peers: cfg.Peers}
+	if err := shard.validate(); err != nil {
+		return nil, err
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -210,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 		workers:  workers,
 		dispatch: dispatch,
 		leaseTTL: leaseTTL,
+		shard:    shard,
 		logf:     logf,
 		ctx:      ctx,
 		cancel:   cancel,
@@ -299,6 +315,14 @@ func (s *Server) Drain(timeout time.Duration) {
 // returns the existing job, whatever its state; a job completed in an
 // earlier server lifetime against the same store is served from its
 // persisted record without re-executing.
+//
+// On a sharded coordinator, a spec whose job ID hashes to another shard
+// is refused with a *MisdirectError naming the owner (jobs already in
+// the local table — e.g. leased before a reshard — are still served).
+// Every accepted job also persists a queued-state record into the
+// store before Submit returns, so a coordinator killed with a backlog
+// can be replaced by a fresh process that resumes the queue from the
+// shared store (see loadRecords).
 func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
@@ -314,12 +338,20 @@ func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if rec, ok := s.jobs[id]; ok {
+		status := copyStatus(rec.status)
+		s.mu.Unlock()
 		s.metrics.submitted.With("duplicate").Inc()
-		return copyStatus(rec.status), false, nil
+		return status, false, nil
+	}
+	if !s.shard.owns(id) {
+		owner := s.shard.ownerOf(id)
+		s.mu.Unlock()
+		s.metrics.misdirected.Inc()
+		return sparkxd.JobStatus{}, false, &MisdirectError{JobID: id, Owner: owner}
 	}
 	if s.closed {
+		s.mu.Unlock()
 		return sparkxd.JobStatus{}, false, fmt.Errorf("server closed")
 	}
 	s.jobSeq++
@@ -342,8 +374,25 @@ func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
 	case s.wake <- struct{}{}:
 	default:
 	}
+	status := copyStatus(rec.status)
+	s.mu.Unlock()
+	// Persist the queued-state record outside the lock (store writes do
+	// IO). The spec is content-addressed, so duplicate submissions across
+	// coordinator lifetimes write the same record — an idempotent no-op.
+	s.persistRecord(status)
 	s.logf("job %s queued (%s)", id, norm.Kind)
-	return copyStatus(rec.status), true, nil
+	return status, true, nil
+}
+
+// Owner reports which federation peer owns a job ID, and whether that
+// peer is another coordinator (false on an unsharded server or for the
+// shard's own IDs). The HTTP layer uses it to answer 421 for unknown
+// jobs that live on a peer.
+func (s *Server) Owner(jobID string) (string, bool) {
+	if !s.shard.enabled() || s.shard.owns(jobID) {
+		return "", false
+	}
+	return s.shard.ownerOf(jobID), true
 }
 
 // Job returns the status of a job by ID.
@@ -399,62 +448,130 @@ func (s *Server) eventsSince(id string, from int) (evs []sparkxd.Event, next int
 }
 
 // loadRecords preloads persisted job records (KindJobRecord) from the
-// store so submissions of previously-completed jobs are answered from
-// the durable cache. A record is only trusted if every artifact it
-// references is still present; otherwise the job will simply re-execute
-// (and, by determinism, re-derive identical keys).
+// store. Two record states matter:
+//
+//   - JobDone: submissions of previously-completed jobs are answered
+//     from the durable cache. A done record is only trusted if every
+//     artifact it references is still present; otherwise the job simply
+//     re-executes (and, by determinism, re-derives identical keys).
+//   - JobQueued: jobs a previous coordinator accepted but never
+//     finished. They re-enter the queue, so a replacement coordinator
+//     pointed at the same store resumes the backlog of one that was
+//     killed — the federation's failover path.
+//
+// Both record states coexist for a completed job (queued was written at
+// accept time, done at completion); the verified done record wins. On a
+// sharded coordinator, records owned by other shards are skipped — each
+// federation member restores only its slice of the ID space.
 func (s *Server) loadRecords() {
 	infos, err := s.st.List(sparkxd.KindJobRecord)
 	if err != nil {
 		s.logf("job records: list: %v", err)
 		return
 	}
-	loaded := 0
+	type candidate struct {
+		done   *sparkxd.JobRecord
+		queued *sparkxd.JobRecord
+	}
+	cands := make(map[string]*candidate)
+	var order []string // List is key-sorted; keep restore order deterministic
 	for _, info := range infos {
 		rec, err := sparkxd.GetJobRecord(s.st, info.Key)
 		if err != nil {
 			s.logf("job records: %s: %v", info.Key, err)
 			continue
 		}
-		if rec.Version > sparkxd.JobRecordVersion || rec.JobID == "" || rec.State != sparkxd.JobDone {
+		if rec.Version > sparkxd.JobRecordVersion || rec.JobID == "" {
 			continue
 		}
-		complete := true
-		for _, key := range rec.Artifacts {
-			if _, err := s.st.Stat(key); err != nil {
-				complete = false
-				break
-			}
+		if !s.shard.owns(rec.JobID) {
+			continue
 		}
-		if !complete {
+		c := cands[rec.JobID]
+		if c == nil {
+			c = &candidate{}
+			cands[rec.JobID] = c
+			order = append(order, rec.JobID)
+		}
+		switch rec.State {
+		case sparkxd.JobDone:
+			complete := true
+			for _, key := range rec.Artifacts {
+				if _, err := s.st.Stat(key); err != nil {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				c.done = rec
+			}
+		case sparkxd.JobQueued:
+			c.queued = rec
+		}
+		// JobFailed records are never persisted today; a job that failed
+		// in a previous lifetime keeps only its queued record and re-runs.
+	}
+	loaded, requeued := 0, 0
+	for _, id := range order {
+		c := cands[id]
+		rec := c.done
+		if rec == nil {
+			rec = c.queued
+		}
+		if rec == nil {
 			continue
 		}
 		fp, err := rec.Spec.Config.Fingerprint()
 		if err != nil {
 			continue
 		}
+		if c.done != nil {
+			jr := &jobRec{
+				status: sparkxd.JobStatus{
+					ID:        rec.JobID,
+					State:     sparkxd.JobDone,
+					Spec:      rec.Spec,
+					Artifacts: rec.Artifacts,
+				},
+				fp:     fp,
+				notify: make(chan struct{}),
+			}
+			s.jobs[rec.JobID] = jr
+			s.appendEventLocked(jr, sparkxd.Event{Stage: "job", Phase: "done",
+				Message: fmt.Sprintf("served from persisted record (%d artifacts)", len(rec.Artifacts))})
+			loaded++
+			continue
+		}
+		s.jobSeq++
 		jr := &jobRec{
-			status: sparkxd.JobStatus{
-				ID:        rec.JobID,
-				State:     sparkxd.JobDone,
-				Spec:      rec.Spec,
-				Artifacts: rec.Artifacts,
-			},
-			fp:     fp,
-			notify: make(chan struct{}),
+			status:   sparkxd.JobStatus{ID: rec.JobID, State: sparkxd.JobQueued, Spec: rec.Spec},
+			fp:       fp,
+			cost:     float64(rec.Spec.Config.Neurons),
+			notify:   make(chan struct{}),
+			seq:      s.jobSeq,
+			queuedAt: time.Now(),
 		}
 		s.jobs[rec.JobID] = jr
-		s.appendEventLocked(jr, sparkxd.Event{Stage: "job", Phase: "done",
-			Message: fmt.Sprintf("served from persisted record (%d artifacts)", len(rec.Artifacts))})
-		loaded++
+		s.queue = append(s.queue, jr)
+		s.appendEventLocked(jr, sparkxd.Event{Stage: "job", Phase: "queued",
+			Message: "requeued from durable record (coordinator takeover)"})
+		requeued++
 	}
-	if loaded > 0 {
-		s.logf("job records: %d completed jobs restored from the store", loaded)
+	if requeued > 0 {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	if loaded > 0 || requeued > 0 {
+		s.logf("job records: %d completed jobs restored, %d unfinished jobs requeued from the store", loaded, requeued)
 	}
 }
 
-// persistRecord writes a completed job's durable record to the store.
-// Called without s.mu held (store writes do IO).
+// persistRecord writes a job's durable record to the store: a
+// queued-state record at accept time (so a replacement coordinator can
+// resume the queue) and a done-state record at completion. Called
+// without s.mu held (store writes do IO).
 func (s *Server) persistRecord(status sparkxd.JobStatus) {
 	rec := &sparkxd.JobRecord{
 		Version:   sparkxd.JobRecordVersion,

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// shardInfo is a coordinator's slice of the job-ID space: with -shard
+// i/m, this coordinator owns exactly the job IDs hashing to slice i,
+// and answers submissions of the rest with 421 + the owner's address
+// from the static peer list. Job IDs are content hashes of normalized
+// specs, so every coordinator computes the same owner for the same spec
+// without any coordination beyond agreeing on m and the peer list.
+type shardInfo struct {
+	index int      // 1-based, like sched.Shard
+	count int      // 1 means "no sharding" (own everything)
+	peers []string // peers[i-1] is shard i's advertised base URL
+}
+
+// enabled reports whether the shard actually partitions the ID space.
+func (sh shardInfo) enabled() bool { return sh.count > 1 }
+
+// validate checks the shard arithmetic and the peer list shape.
+func (sh shardInfo) validate() error {
+	if !sh.enabled() {
+		return nil
+	}
+	if sh.index < 1 || sh.index > sh.count {
+		return fmt.Errorf("server: invalid shard %d/%d (want 1 <= i <= m)", sh.index, sh.count)
+	}
+	if len(sh.peers) != sh.count {
+		return fmt.Errorf("server: shard %d/%d needs %d peer addresses, got %d",
+			sh.index, sh.count, sh.count, len(sh.peers))
+	}
+	for i, p := range sh.peers {
+		if strings.TrimSpace(p) == "" {
+			return fmt.Errorf("server: empty peer address for shard %d/%d", i+1, sh.count)
+		}
+	}
+	return nil
+}
+
+// owns reports whether this coordinator's shard owns jobID.
+func (sh shardInfo) owns(jobID string) bool {
+	if !sh.enabled() {
+		return true
+	}
+	return shardOf(jobID, sh.count) == sh.index
+}
+
+// ownerOf returns the advertised address of the shard owning jobID.
+func (sh shardInfo) ownerOf(jobID string) string {
+	if !sh.enabled() {
+		return ""
+	}
+	return sh.peers[shardOf(jobID, sh.count)-1]
+}
+
+// shardOf maps a job ID onto a 1-based shard index. The ID is already a
+// content hash, but it is re-hashed here so the mapping stays uniform
+// even if the ID derivation ever truncates differently; the first 8
+// bytes of the digest mod m are stable across processes and platforms.
+func shardOf(jobID string, m int) int {
+	sum := sha256.Sum256([]byte(jobID))
+	return int(binary.BigEndian.Uint64(sum[:8])%uint64(m)) + 1
+}
+
+// MisdirectError reports a job whose ID hashes to another coordinator's
+// shard. The HTTP layer renders it as 421 Misdirected Request with the
+// owner's address, which clients follow transparently.
+type MisdirectError struct {
+	JobID string
+	Owner string
+}
+
+func (e *MisdirectError) Error() string {
+	return fmt.Sprintf("server: job %s belongs to shard peer %s", e.JobID, e.Owner)
+}

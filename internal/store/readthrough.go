@@ -1,0 +1,120 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ReadThrough composes a local cache store over a remote authority.
+// Reads try the local store first and fall back to the remote, filling
+// the local copy on the way back; writes go to the remote (the shared
+// namespace) and are mirrored locally best-effort.
+//
+// The composition is safe precisely because keys are content addresses:
+// a locally cached envelope can never go stale — the bytes at a key are
+// the only bytes that can ever live there — so there is no invalidation
+// protocol, no TTL, and no coherence traffic. A corrupt local copy is
+// simply treated as a miss and refetched.
+//
+// Concurrent misses on the same key are single-flighted: one remote
+// fetch runs, the rest wait for its result.
+type ReadThrough struct {
+	local  Store
+	remote Store
+
+	hits   atomic.Uint64 // Gets served entirely from the local store
+	misses atomic.Uint64 // Gets that had to consult the remote
+	fills  atomic.Uint64 // remote envelopes copied into the local store
+
+	mu       sync.Mutex
+	inflight map[Key]*fetchCall
+}
+
+// fetchCall is one in-flight remote fetch shared by concurrent readers.
+type fetchCall struct {
+	done chan struct{}
+	env  *Envelope
+	err  error
+}
+
+// NewReadThrough builds a read-through composite over local and remote.
+func NewReadThrough(local, remote Store) *ReadThrough {
+	return &ReadThrough{local: local, remote: remote, inflight: make(map[Key]*fetchCall)}
+}
+
+// Stats returns the cumulative hit/miss/fill counters (for /metrics).
+func (rt *ReadThrough) Stats() (hits, misses, fills uint64) {
+	return rt.hits.Load(), rt.misses.Load(), rt.fills.Load()
+}
+
+// Put implements Store: the remote store is the authority, so the write
+// goes there first; the local copy is a best-effort cache fill whose
+// failure never fails the Put.
+func (rt *ReadThrough) Put(kind string, payload any) (Key, error) {
+	key, err := rt.remote.Put(kind, payload)
+	if err != nil {
+		return "", err
+	}
+	_, _ = rt.local.Put(kind, payload)
+	return key, nil
+}
+
+// Get implements Store: local first (hit), then a single-flighted
+// remote fetch (miss) whose verified envelope is cached locally (fill).
+// Any local failure — absent, corrupt, unreadable — is treated as a
+// miss; the remote result is authoritative either way.
+func (rt *ReadThrough) Get(key Key) (*Envelope, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	if env, err := rt.local.Get(key); err == nil {
+		rt.hits.Add(1)
+		return env, nil
+	}
+	rt.misses.Add(1)
+
+	rt.mu.Lock()
+	if c, ok := rt.inflight[key]; ok {
+		rt.mu.Unlock()
+		<-c.done
+		return c.env, c.err
+	}
+	c := &fetchCall{done: make(chan struct{})}
+	rt.inflight[key] = c
+	rt.mu.Unlock()
+
+	env, err := rt.remote.Get(key)
+	if err == nil {
+		// The envelope came through a verifying Get, so caching it cannot
+		// poison the local store; Put re-derives the same key from the
+		// canonical payload bytes.
+		if _, perr := rt.local.Put(env.Kind, env.Payload); perr == nil {
+			rt.fills.Add(1)
+		}
+	}
+	c.env, c.err = env, err
+	rt.mu.Lock()
+	delete(rt.inflight, key)
+	rt.mu.Unlock()
+	close(c.done)
+	return env, err
+}
+
+// Stat implements Store: local first, then remote. Stat probes do not
+// move into the hit/miss counters — they would double-count the Gets
+// the counters are meant to explain.
+func (rt *ReadThrough) Stat(key Key) (Info, error) {
+	if err := key.Validate(); err != nil {
+		return Info{}, err
+	}
+	if info, err := rt.local.Stat(key); err == nil {
+		return info, nil
+	}
+	return rt.remote.Stat(key)
+}
+
+// List implements Store against the remote: the shared namespace is the
+// authority, and a local cache by construction holds a subset of it.
+func (rt *ReadThrough) List(kind string) ([]Info, error) {
+	return rt.remote.List(kind)
+}

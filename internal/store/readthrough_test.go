@@ -1,0 +1,186 @@
+package store
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gatedStore delegates to an inner store but blocks every Get until the
+// gate opens, counting how many Gets reached it.
+type gatedStore struct {
+	inner Store
+	gate  chan struct{}
+	gets  atomic.Int64
+}
+
+func (g *gatedStore) Put(kind string, payload any) (Key, error) { return g.inner.Put(kind, payload) }
+func (g *gatedStore) Stat(key Key) (Info, error)                { return g.inner.Stat(key) }
+func (g *gatedStore) List(kind string) ([]Info, error)          { return g.inner.List(kind) }
+func (g *gatedStore) Get(key Key) (*Envelope, error) {
+	g.gets.Add(1)
+	<-g.gate
+	return g.inner.Get(key)
+}
+
+func TestReadThroughHitMissFill(t *testing.T) {
+	local, remote := NewMem(), NewMem()
+	rt := NewReadThrough(local, remote)
+
+	key, err := remote.Put("sample", sample{Name: "far"})
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// First Get misses locally, fetches remotely, fills the cache.
+	if _, err := rt.Get(key); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if h, m, f := rt.Stats(); h != 0 || m != 1 || f != 1 {
+		t.Errorf("Stats after miss = (%d, %d, %d), want (0, 1, 1)", h, m, f)
+	}
+	if _, err := local.Get(key); err != nil {
+		t.Errorf("local store not filled: %v", err)
+	}
+
+	// Second Get is a pure local hit.
+	if _, err := rt.Get(key); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if h, m, f := rt.Stats(); h != 1 || m != 1 || f != 1 {
+		t.Errorf("Stats after hit = (%d, %d, %d), want (1, 1, 1)", h, m, f)
+	}
+
+	// Puts go to the remote and mirror locally without counting as fills.
+	key2, err := rt.Put("sample", sample{Name: "near"})
+	if err != nil {
+		t.Fatalf("rt.Put: %v", err)
+	}
+	if _, err := remote.Get(key2); err != nil {
+		t.Errorf("remote missing written artifact: %v", err)
+	}
+	if _, _, f := rt.Stats(); f != 1 {
+		t.Errorf("Put counted as fill: fills = %d, want 1", f)
+	}
+
+	if _, err := rt.Get(Key("sample/missing")); !errors.Is(err, ErrBadKey) {
+		t.Errorf("Get(malformed) = %v, want ErrBadKey", err)
+	}
+	absent := Key("sample/" + strings.Repeat("aa", 32))
+	if _, err := rt.Get(absent); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+// Concurrent readers of one cold key share a single remote fetch.
+func TestReadThroughSingleFlight(t *testing.T) {
+	backend := NewMem()
+	key, err := backend.Put("sample", sample{Name: "flight", Count: 1})
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	remote := &gatedStore{inner: backend, gate: make(chan struct{})}
+	rt := NewReadThrough(NewMem(), remote)
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env, err := rt.Get(key)
+			if err == nil && env == nil {
+				err = errors.New("nil envelope")
+			}
+			errs[i] = err
+		}()
+	}
+	// Give the readers time to pile up behind the single in-flight
+	// fetch, then open the gate.
+	time.Sleep(50 * time.Millisecond)
+	close(remote.gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("reader %d: %v", i, err)
+		}
+	}
+	if got := remote.gets.Load(); got != 1 {
+		t.Errorf("remote saw %d Gets, want 1 (single-flight)", got)
+	}
+	if _, _, f := rt.Stats(); f != 1 {
+		t.Errorf("fills = %d, want 1", f)
+	}
+}
+
+// A corrupt remote envelope is surfaced as ErrCorrupt and never cached.
+func TestReadThroughCorruptRemoteNotCached(t *testing.T) {
+	_, tampered, err := Encode("sample", sample{Name: "evil"})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(tampered)
+	}))
+	defer ts.Close()
+	remote, err := NewHTTP(ts.URL, WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewHTTP: %v", err)
+	}
+
+	local := NewMem()
+	rt := NewReadThrough(local, remote)
+	key := Key("sample/" + strings.Repeat("0f", 32))
+	if _, err := rt.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(corrupt remote) = %v, want ErrCorrupt", err)
+	}
+	if infos, err := local.List(""); err != nil || len(infos) != 0 {
+		t.Errorf("corrupt envelope leaked into the local cache: %v (err %v)", infos, err)
+	}
+	if _, _, f := rt.Stats(); f != 0 {
+		t.Errorf("fills = %d, want 0", f)
+	}
+}
+
+// A local hit never touches the network.
+func TestReadThroughLocalHitSkipsNetwork(t *testing.T) {
+	var requests atomic.Int64
+	backend := NewMem()
+	inner := NewHandler(backend)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	remote, err := NewHTTP(ts.URL, WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewHTTP: %v", err)
+	}
+
+	local := NewMem()
+	key, err := local.Put("sample", sample{Name: "home"})
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	rt := NewReadThrough(local, remote)
+	before := requests.Load()
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Get(key); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+	if after := requests.Load(); after != before {
+		t.Errorf("local hits reached the network: %d extra requests", after-before)
+	}
+	if h, m, _ := rt.Stats(); h != 3 || m != 0 {
+		t.Errorf("Stats = (%d hits, %d misses), want (3, 0)", h, m)
+	}
+}

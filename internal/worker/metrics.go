@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sparkxd/internal/metrics"
+	"sparkxd/internal/store"
 )
 
 // workerMetrics is the worker's instrument set, served by
@@ -64,6 +65,20 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 	r.NewCounterFunc("sparkxd_warm_systems_evictions_total",
 		"Warm System engines evicted by the LRU bound.",
 		func() uint64 { _, _, e := w.systems.Stats(); return e })
+	// A worker uploading through a read-through composite (remote store
+	// + local cache) surfaces the cache's counters, mirroring the
+	// coordinator's series names.
+	if rt, ok := w.st.(*store.ReadThrough); ok {
+		r.NewCounterFunc("sparkxd_store_cache_hits_total",
+			"Read-through store Gets served entirely from the local cache.",
+			func() uint64 { h, _, _ := rt.Stats(); return h })
+		r.NewCounterFunc("sparkxd_store_cache_misses_total",
+			"Read-through store Gets that consulted the remote store.",
+			func() uint64 { _, m, _ := rt.Stats(); return m })
+		r.NewCounterFunc("sparkxd_store_cache_fills_total",
+			"Remote envelopes copied into the read-through local cache.",
+			func() uint64 { _, _, f := rt.Stats(); return f })
+	}
 	return m
 }
 

@@ -54,8 +54,15 @@ type Config struct {
 	// FlushInterval batches forwarded engine events (zero: 200ms).
 	FlushInterval time.Duration
 	// HTTPClient overrides the coordinator transport (nil: 30s-timeout
-	// default client).
+	// default client). A remote Store opened with the same client shares
+	// its connection pool.
 	HTTPClient *http.Client
+	// Store, when non-nil, receives result artifacts directly (e.g. the
+	// federation's shared remote store, optionally wrapped read-through)
+	// instead of uploading them through the coordinator's artifact
+	// endpoint. The coordinator must be backed by the same store, or
+	// completions will fail its artifact verification.
+	Store sparkxd.ArtifactStore
 	// Logf, when non-nil, receives one line per lease transition.
 	Logf func(format string, args ...any)
 }
@@ -69,6 +76,7 @@ type Worker struct {
 	flushInterval time.Duration
 	logf          func(string, ...any)
 	api           *coordClient
+	st            sparkxd.ArtifactStore // nil: upload via the coordinator
 
 	ttl time.Duration // coordinator's lease TTL (learned at register)
 
@@ -160,6 +168,7 @@ func New(cfg Config) (*Worker, error) {
 		flushInterval: flush,
 		logf:          logf,
 		api:           api,
+		st:            cfg.Store,
 		byFP:          make(map[string]map[*task]struct{}),
 	}
 	w.systems = jobrun.NewSystems(slots, cfg.MaxWarmSystems, w.fanout)
@@ -351,7 +360,9 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 
 	// Upload every produced artifact as a canonical envelope (the
 	// heartbeat keeps the lease alive throughout), then mark the job
-	// complete with the role → key map.
+	// complete with the role → key map. With a configured Store the
+	// envelopes go there directly — the coordinator shares the store, so
+	// its completion-time Stat verification still passes.
 	arts := make(map[string]sparkxd.ArtifactKey, len(produced))
 	for role, v := range produced {
 		kind, kerr := sparkxd.ArtifactKind(v)
@@ -366,9 +377,14 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 			w.completeWith(t, nil, fmt.Sprintf("artifact %s: %v", role, eerr))
 			return
 		}
-		opCtx, opCancel := w.opContext()
-		uerr := w.api.putArtifact(opCtx, sparkxd.ArtifactKey(key), envelope)
-		opCancel()
+		var uerr error
+		if w.st != nil {
+			_, uerr = w.st.Put(kind, v)
+		} else {
+			opCtx, opCancel := w.opContext()
+			uerr = w.api.putArtifact(opCtx, sparkxd.ArtifactKey(key), envelope)
+			opCancel()
+		}
 		if uerr != nil {
 			w.metrics.jobs.With("abandoned").Inc()
 			w.logf("job %s: upload %s: %v (abandoning; lease will expire)", g.JobID, key, uerr)

@@ -304,20 +304,24 @@ func (s JobSpec) ID() (string, error) {
 // payloads; loaders reject records written by a future layout.
 const JobRecordVersion = 1
 
-// JobRecord is the durable outcome of one completed job: the persisted
-// `jobID → artifact keys` entry that lets a restarted server (or a
-// whole fleet sharing one store) serve a repeat submission from the
-// store instead of re-executing it. Records are stored like any other
-// artifact (KindJobRecord, content-addressed), and because execution is
-// deterministic in the spec, a re-executed job re-derives the identical
-// record — persisting it twice is a no-op.
+// JobRecord is the durable trace of one job: the persisted
+// `jobID → spec (+ artifact keys)` entry that lets a restarted server
+// (or a whole fleet sharing one store) serve a repeat submission from
+// the store instead of re-executing it, and lets a replacement
+// coordinator requeue work that was accepted but never finished.
+// Records are stored like any other artifact (KindJobRecord,
+// content-addressed), and because execution is deterministic in the
+// spec, a re-executed job re-derives the identical record — persisting
+// it twice is a no-op.
 type JobRecord struct {
 	// Version is JobRecordVersion at write time.
 	Version int `json:"version"`
 	// JobID is the deterministic spec hash the record belongs to.
 	JobID string `json:"job_id"`
-	// State is the terminal state the job reached (only JobDone records
-	// are persisted today; the field future-proofs failure caching).
+	// State is the record's snapshot of the job lifecycle: JobQueued
+	// when the spec was accepted (persisted at admission so a failover
+	// coordinator can requeue unfinished work) and JobDone when the job
+	// completed with artifacts.
 	State JobState `json:"state"`
 	// Spec is the normalized spec the job executed.
 	Spec JobSpec `json:"spec"`
