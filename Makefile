@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-record bench-check vet fmt-check shard-smoke sweep-smoke serve-smoke fleet-smoke federation-smoke loadgen-smoke examples-smoke lint vuln ci
+.PHONY: build test race bench bench-record bench-check vet fmt-check shard-smoke sweep-smoke serve-smoke fleet-smoke federation-smoke loadgen-smoke pprof-smoke examples-smoke lint vuln ci
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,13 @@ federation-smoke: build
 loadgen-smoke: build
 	./scripts/loadgen-smoke.sh
 
+# Diagnostics smoke: every serving binary's -debug-addr listener must
+# serve the pprof index, a heap profile, and /debug/vars; the
+# coordinator's stderr must be structured JSON keyed by job ID; and
+# `sparkxd version` must agree with /v1/healthz.
+pprof-smoke: build
+	./scripts/pprof-smoke.sh
+
 # Run every example and both CLIs end to end on tiny budgets, including
 # the persist-then-resume artifact round-trip of `sparkxd single`.
 examples-smoke: build
@@ -99,4 +106,4 @@ lint:
 vuln:
 	govulncheck ./...
 
-ci: build vet fmt-check race bench examples-smoke sweep-smoke serve-smoke fleet-smoke federation-smoke loadgen-smoke
+ci: build vet fmt-check race bench examples-smoke sweep-smoke serve-smoke fleet-smoke federation-smoke loadgen-smoke pprof-smoke

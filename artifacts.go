@@ -234,6 +234,7 @@ const (
 	KindEnergyReport    = "energy-report"
 	KindSweepReport     = "sweep-report"
 	KindJobRecord       = "job-record"
+	KindJobTrace        = "job-trace"
 )
 
 // The artifact store surface, re-exported from internal/store. An
@@ -311,6 +312,8 @@ func ArtifactKind(artifact any) (string, error) {
 		return KindSweepReport, nil
 	case *JobRecord:
 		return KindJobRecord, nil
+	case *JobTrace:
+		return KindJobTrace, nil
 	default:
 		return "", fmt.Errorf("sparkxd: %T is not a storable artifact", artifact)
 	}
@@ -364,6 +367,11 @@ func GetSweepReport(st ArtifactStore, key ArtifactKey) (*SweepReport, error) {
 // GetJobRecord fetches a JobRecord from the store by key.
 func GetJobRecord(st ArtifactStore, key ArtifactKey) (*JobRecord, error) {
 	return getArtifact[JobRecord](st, key, KindJobRecord)
+}
+
+// GetJobTrace fetches a JobTrace from the store by key.
+func GetJobTrace(st ArtifactStore, key ArtifactKey) (*JobTrace, error) {
+	return getArtifact[JobTrace](st, key, KindJobTrace)
 }
 
 // getArtifact fetches and decodes one artifact, translating store

@@ -35,6 +35,7 @@ import (
 
 	"sparkxd"
 	"sparkxd/internal/store"
+	"sparkxd/internal/tracing"
 )
 
 // Typed client failures.
@@ -203,13 +204,28 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 
 // Submit registers a job and returns its status. Submitting the same
 // spec again returns the existing job's status (same deterministic ID).
+//
+// Every submission carries a W3C traceparent header, so the server-side
+// job trace is rooted under this client's span: a span context placed
+// in ctx (tracing.ContextWith) is propagated as-is, and without one a
+// fresh trace is started per submission. The header rides out-of-band —
+// never inside the spec — so the job ID is byte-identical with tracing
+// on or off, and it is re-stamped on every 421 shard redirect and 429
+// retry, so the trace follows the submission to the owning federation
+// peer. The returned status's TraceID names the resulting trace.
 func (c *Client) Submit(ctx context.Context, spec sparkxd.JobSpec) (*sparkxd.JobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, fmt.Errorf("client: marshal spec: %w", err)
 	}
+	sc, ok := tracing.FromContext(ctx)
+	if !ok {
+		sc = tracing.NewContext()
+	}
+	hdr := make(http.Header)
+	tracing.Inject(hdr, sc)
 	var status sparkxd.JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &status); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, hdr, &status); err != nil {
 		return nil, err
 	}
 	return &status, nil
@@ -218,7 +234,7 @@ func (c *Client) Submit(ctx context.Context, spec sparkxd.JobSpec) (*sparkxd.Job
 // Job fetches the current status of a job.
 func (c *Client) Job(ctx context.Context, id string) (*sparkxd.JobStatus, error) {
 	var status sparkxd.JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &status); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil, &status); err != nil {
 		return nil, err
 	}
 	return &status, nil
@@ -227,10 +243,23 @@ func (c *Client) Job(ctx context.Context, id string) (*sparkxd.JobStatus, error)
 // Jobs lists every job the server knows, sorted by ID.
 func (c *Client) Jobs(ctx context.Context) ([]sparkxd.JobStatus, error) {
 	var out []sparkxd.JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Trace fetches the assembled distributed trace of a terminal job:
+// coordinator spans (queue wait, admission, lease lifecycle) and worker
+// spans (execution envelope, warm builds, pipeline stages, artifact
+// upload) in one sorted set. Traces assemble when the job reaches a
+// terminal state; before that the server answers 404 (ErrNotFound).
+func (c *Client) Trace(ctx context.Context, id string) (*sparkxd.JobTrace, error) {
+	var tr sparkxd.JobTrace
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // Wait polls until the job reaches a terminal state. A JobDone status is
@@ -491,8 +520,10 @@ const maxShardHops = 4
 // the context is cancelled. Every request in this API is idempotent —
 // submission by deterministic job ID, the rest read-only — so replaying
 // is always safe. A 421 Misdirected Request is followed to the owning
-// federation peer named in its body (bounded by maxShardHops).
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+// federation peer named in its body (bounded by maxShardHops). hdr, when
+// non-nil, is copied onto every issued request — including 421/429
+// replays, so headers like traceparent survive shard redirects.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr http.Header, out any) error {
 	plan := waitPlan{initial: 100 * time.Millisecond, max: 5 * time.Second, factor: 1.6, jitter: 0.2}
 	backoff := plan.initial
 	base := c.base
@@ -513,6 +544,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 		if c.submitter != "" {
 			req.Header.Set("X-Sparkxd-Submitter", c.submitter)
+		}
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Set(k, v)
+			}
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {

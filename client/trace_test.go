@@ -1,0 +1,84 @@
+// Client-side trace propagation: every submit carries a W3C
+// traceparent, a caller-provided span context wins, and the header
+// survives 421 shard redirects so the owning federation member roots
+// the job's trace under the client's trace ID.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sparkxd"
+	"sparkxd/client"
+	"sparkxd/internal/tracing"
+)
+
+// Every submit is stamped with a traceparent; with no caller context
+// the client starts a fresh trace.
+func TestSubmitStampsTraceparent(t *testing.T) {
+	var got string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get("traceparent")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(sparkxd.JobStatus{ID: "deadbeef", State: sparkxd.JobQueued})
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(context.Background(), tinySweepSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tracing.ParseTraceparent(got); err != nil {
+		t.Fatalf("submit sent traceparent %q: %v", got, err)
+	}
+
+	// A span context on ctx wins over a generated one.
+	sc := tracing.NewContext()
+	ctx := tracing.ContextWith(context.Background(), sc)
+	if _, err := c.Submit(ctx, tinySweepSpec()); err != nil {
+		t.Fatal(err)
+	}
+	sent, err := tracing.ParseTraceparent(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent.TraceID != sc.TraceID || sent.SpanID != sc.SpanID {
+		t.Errorf("submit sent %s, want the caller's context %s", got, sc.Traceparent())
+	}
+}
+
+// The traceparent follows a 421 Misdirected Request to the owning
+// shard: the job lands on the owner rooted under the client's trace ID,
+// not a fresh trace minted by the redirect replay.
+func TestTraceparentFollowsShardRedirect(t *testing.T) {
+	srv1, srv2, base1 := newFederation(t)
+	spec := foreignSpec(t, srv1)
+
+	sc := tracing.NewContext()
+	ctx := tracing.ContextWith(context.Background(), sc)
+	c, err := client.New(base1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit through the wrong shard: %v", err)
+	}
+	if status.TraceID != sc.TraceID.String() {
+		t.Errorf("owner rooted trace %q, want the client's %q (traceparent lost across 421)",
+			status.TraceID, sc.TraceID)
+	}
+	owned, ok := srv2.Job(status.ID)
+	if !ok {
+		t.Fatal("job did not land on the owning shard")
+	}
+	if owned.TraceID != sc.TraceID.String() {
+		t.Errorf("owning shard's status.TraceID = %q, want %q", owned.TraceID, sc.TraceID)
+	}
+}

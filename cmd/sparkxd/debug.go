@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"sparkxd/internal/logging"
+	"sparkxd/internal/version"
+)
+
+// newCLILogger builds a serving binary's structured logger from its
+// -quiet and -log-level flags: JSON lines to stderr, or a discard
+// logger under -quiet. A bad level name prints to stderr and returns a
+// non-zero usage exit code.
+func newCLILogger(prog string, quiet bool, level string, stderr io.Writer) (*slog.Logger, int) {
+	if quiet {
+		return logging.Discard(), 0
+	}
+	lvl, err := logging.ParseLevel(level)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return nil, 2
+	}
+	return logging.JSON(stderr, lvl), 0
+}
+
+// startDebugServer exposes the Go diagnostics toolbox on its own
+// listener, shared by `serve -debug-addr`, `worker -debug-addr`, and
+// `store serve -debug-addr`:
+//
+//	/debug/pprof/            index (heap, goroutine, block, mutex, ...)
+//	/debug/pprof/profile     30s CPU profile
+//	/debug/pprof/trace       runtime execution trace
+//	/debug/vars              JSON runtime snapshot (goroutines, memory)
+//
+// It is opt-in and bound to a separate address precisely so the serving
+// endpoints never expose profiling to job-submitting clients; bind it
+// to localhost (or port 0 in scripts) and point `go tool pprof` at it.
+// The returned close func stops the listener; callers defer it.
+func startDebugServer(addr string, stdout, stderr io.Writer) (func(), bool) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "debug listen: %v\n", err)
+		return nil, false
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/vars", handleDebugVars)
+	hs := &http.Server{Handler: mux}
+	go func() { _ = hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "debug on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { _ = hs.Close() }, true
+}
+
+// handleDebugVars serves a one-shot JSON snapshot of process runtime
+// state — the numbers a first-response debugging session wants before
+// reaching for a full profile.
+func handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := map[string]any{
+		"version":        version.String(),
+		"go_version":     runtime.Version(),
+		"goroutines":     runtime.NumGoroutine(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"num_cpu":        runtime.NumCPU(),
+		"num_gc":         ms.NumGC,
+		"heap_alloc":     ms.HeapAlloc,
+		"heap_inuse":     ms.HeapInuse,
+		"heap_objects":   ms.HeapObjects,
+		"stack_inuse":    ms.StackInuse,
+		"total_alloc":    ms.TotalAlloc,
+		"gc_pause_total": time.Duration(ms.PauseTotalNs).String(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, _ := json.MarshalIndent(snap, "", "  ")
+	w.Write(append(b, '\n'))
+}

@@ -122,6 +122,7 @@ func runLoadgen(ctx context.Context, args []string, stdout, stderr io.Writer) in
 					fmt.Fprintf(stderr, "loadgen: client %d: submit: %v\n", id, err)
 					return
 				}
+				s.jobID, s.traceID = status.ID, status.TraceID
 				// The submit window is closed, but every accepted job is
 				// awaited so the report never counts abandoned work.
 				if _, err := cli.Wait(ctx, status.ID); err != nil {
@@ -150,6 +151,11 @@ func runLoadgen(ctx context.Context, args []string, stdout, stderr io.Writer) in
 	fmt.Fprintf(stderr, "loadgen: %d done, %d failed, %d throttled in %s (%.2f jobs/s, p50 %dms p99 %dms)\n",
 		rep.Done, rep.Failed, rep.Throttled, elapsed.Round(time.Millisecond),
 		rep.Throughput, rep.Latency.P50, rep.Latency.P99)
+	if len(rep.Slowest) > 0 {
+		s := rep.Slowest[0]
+		fmt.Fprintf(stderr, "loadgen: slowest job %s (%dms) — inspect with `sparkxd trace -addr %s %s`\n",
+			s.JobID, s.LatencyMS, *addr, s.JobID)
+	}
 	if rep.Failed > 0 {
 		return 1
 	}
@@ -157,11 +163,14 @@ func runLoadgen(ctx context.Context, args []string, stdout, stderr io.Writer) in
 }
 
 // loadSample is one closed-loop iteration: the job's priority, its
-// submit-to-done latency, and the failure (if any).
+// submit-to-done latency, the failure (if any), and the IDs that let a
+// slow sample be chased into its distributed trace afterwards.
 type loadSample struct {
 	priority int
 	latency  time.Duration
 	err      error
+	jobID    string
+	traceID  string
 }
 
 // parseMix parses "single:sweep" submission ratios, e.g. "3:1".
@@ -241,6 +250,10 @@ type loadReport struct {
 	Throughput float64        `json:"throughput_jobs_per_s"`
 	Latency    latencySummary `json:"latency_ms"`
 	PerPrio    []prioReport   `json:"per_priority"`
+	// Slowest names the jobs in the p99 latency tail with their trace
+	// IDs, so a bad percentile leads straight to `sparkxd trace <job>`
+	// waterfalls instead of a needle-in-haystack log hunt.
+	Slowest []slowJob `json:"slowest"`
 }
 
 type latencySummary struct {
@@ -255,6 +268,15 @@ type prioReport struct {
 	Done      int   `json:"done"`
 	Failed    int   `json:"failed"`
 	P50       int64 `json:"latency_ms_p50"`
+}
+
+// slowJob is one p99-tail sample: enough identity to fetch its status
+// and distributed trace from the service after the run.
+type slowJob struct {
+	JobID     string `json:"job_id"`
+	TraceID   string `json:"trace_id,omitempty"`
+	Priority  int    `json:"priority"`
+	LatencyMS int64  `json:"latency_ms"`
 }
 
 func buildLoadReport(samples []loadSample, addr string, clients int, mix string, elapsed time.Duration, throttled uint64) loadReport {
@@ -303,7 +325,33 @@ func buildLoadReport(samples []loadSample, addr string, clients int, mix string,
 	if rep.PerPrio == nil {
 		rep.PerPrio = []prioReport{} // schema stability: [] not null
 	}
+	rep.Slowest = slowestJobs(samples, rep.Latency.P99)
 	return rep
+}
+
+// slowestJobs returns the completed samples at or above the p99 latency
+// (capped at 5, slowest first) with their job and trace IDs.
+func slowestJobs(samples []loadSample, p99MS int64) []slowJob {
+	var tail []loadSample
+	for _, s := range samples {
+		if s.err == nil && s.jobID != "" && s.latency.Milliseconds() >= p99MS {
+			tail = append(tail, s)
+		}
+	}
+	sort.Slice(tail, func(a, b int) bool { return tail[a].latency > tail[b].latency })
+	if len(tail) > 5 {
+		tail = tail[:5]
+	}
+	out := make([]slowJob, 0, len(tail))
+	for _, s := range tail {
+		out = append(out, slowJob{
+			JobID:     s.jobID,
+			TraceID:   s.traceID,
+			Priority:  s.priority,
+			LatencyMS: s.latency.Milliseconds(),
+		})
+	}
+	return out
 }
 
 // percentileMS is the nearest-rank percentile of lats in integer

@@ -78,6 +78,9 @@ Commands:
             events, fetch)
   loadgen   drive a running job service with concurrent closed-loop
             clients and print a JSON latency/throughput report
+  trace     fetch a completed job's distributed trace and render it as
+            an ASCII waterfall (or raw JSON with -json)
+  version   print the sparkxd build version
   help      show this message
 
 Run "sparkxd <command> -h" for the command's flags.
@@ -116,6 +119,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runJob(ctx, args[1:], stdout, stderr)
 	case "loadgen":
 		return runLoadgen(ctx, args[1:], stdout, stderr)
+	case "trace":
+		return runTrace(ctx, args[1:], stdout, stderr)
+	case "version":
+		return runVersion(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0

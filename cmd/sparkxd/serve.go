@@ -49,6 +49,8 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		shardSpec = fs.String("shard", "", "own slice i/m of the job-ID space in a federation (e.g. 1/2; needs -peers)")
 		peers     = fs.String("peers", "", "comma-separated base URLs of all m federation coordinators, shard order")
 		cacheDir  = fs.String("cache", "", "local read-through cache directory in front of a remote -store URL")
+		logLevel  = fs.String("log-level", "info", "structured log threshold on stderr: debug, info, warn, error")
+		debugAddr = fs.String("debug-addr", "", "serve pprof and runtime diagnostics on this address (empty = off)")
 		quiet     = fs.Bool("quiet", false, "suppress job lifecycle logs on stderr")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
@@ -86,11 +88,16 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		}
 		st = sparkxd.ReadThroughStore(cache, st)
 	}
-	logf := func(format string, a ...any) {
-		fmt.Fprintf(stderr, "serve: "+format+"\n", a...)
+	logger, code := newCLILogger("sparkxd serve", *quiet, *logLevel, stderr)
+	if code != 0 {
+		return code
 	}
-	if *quiet {
-		logf = nil
+	if *debugAddr != "" {
+		stop, ok := startDebugServer(*debugAddr, stdout, stderr)
+		if !ok {
+			return 1
+		}
+		defer stop()
 	}
 	srv, err := server.New(server.Config{
 		Store:          st,
@@ -103,7 +110,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		ShardIndex:     shard.Index,
 		ShardCount:     shard.Count,
 		Peers:          splitList(*peers),
-		Logf:           logf,
+		Logger:         logger,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "sparkxd serve: %v\n", err)

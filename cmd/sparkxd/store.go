@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -46,12 +47,25 @@ func runStore(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 func runStoreServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sparkxd store serve", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
-		storeDir = fs.String("store", "", "artifact store directory (empty = in-memory, lost on exit)")
-		quiet    = fs.Bool("quiet", false, "suppress request logs on stderr")
+		addr      = fs.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
+		storeDir  = fs.String("store", "", "artifact store directory (empty = in-memory, lost on exit)")
+		logLevel  = fs.String("log-level", "info", "structured log threshold on stderr: debug, info, warn, error")
+		debugAddr = fs.String("debug-addr", "", "serve pprof and runtime diagnostics on this address (empty = off)")
+		quiet     = fs.Bool("quiet", false, "suppress request logs on stderr")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
 		return code
+	}
+	logger, code := newCLILogger("sparkxd store serve", *quiet, *logLevel, stderr)
+	if code != 0 {
+		return code
+	}
+	if *debugAddr != "" {
+		stop, ok := startDebugServer(*debugAddr, stdout, stderr)
+		if !ok {
+			return 1
+		}
+		defer stop()
 	}
 
 	var st sparkxd.ArtifactStore
@@ -71,10 +85,7 @@ func runStoreServe(ctx context.Context, args []string, stdout, stderr io.Writer)
 	mux.HandleFunc("GET /v1/manifest", man.handleGet)
 	mux.HandleFunc("PUT /v1/manifest", man.handlePut)
 
-	var handler http.Handler = mux
-	if !*quiet {
-		handler = logRequests(stderr, mux)
-	}
+	var handler http.Handler = logRequests(logger, mux)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -172,13 +183,20 @@ func (m *manifestEndpoint) save(roles map[string]sparkxd.ArtifactKey) error {
 	return writeManifest(m.dir, roles)
 }
 
-// logRequests prints one line per request, the store server's whole
-// observability story: method, path, status, and payload size.
-func logRequests(w io.Writer, next http.Handler) http.Handler {
+// logRequests emits one structured line per request — method, path,
+// status, payload size, and duration — the store server's request-level
+// observability story.
+func logRequests(log *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		lw := &loggedResponse{ResponseWriter: rw, status: http.StatusOK}
 		next.ServeHTTP(lw, r)
-		fmt.Fprintf(w, "store: %s %s -> %d (%d bytes)\n", r.Method, r.URL.Path, lw.status, lw.bytes)
+		log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", lw.status,
+			"bytes", lw.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000)
 	})
 }
 

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"sparkxd/internal/version"
+)
+
+// runVersion prints the build version the binary was stamped with: the
+// module version for released builds, the VCS revision for source
+// builds, and the Go toolchain either way. The same string is reported
+// by /v1/healthz and stamped on every job's root trace span, so logs,
+// traces, and binaries can be correlated after the fact.
+func runVersion(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		fmt.Fprintln(stderr, "sparkxd version: takes no arguments")
+		return 2
+	}
+	fmt.Fprintf(stdout, "sparkxd %s\n", version.String())
+	return 0
+}

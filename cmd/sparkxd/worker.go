@@ -28,26 +28,33 @@ import (
 func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sparkxd worker", flag.ContinueOnError)
 	var (
-		join     = fs.String("join", "http://127.0.0.1:8080", "coordinator base URL to join")
-		workers  = fs.Int("workers", 0, "concurrent job slots (0 = GOMAXPROCS; also sizes the sweep pool)")
-		name     = fs.String("name", "", "worker name (default <hostname>-<pid>)")
-		poll     = fs.Duration("poll", 500*time.Millisecond, "idle lease poll interval")
-		drain    = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled worker keeps finishing in-flight jobs")
-		maxWarm  = fs.Int("max-warm-systems", 0, "bound on cached warm System engines, LRU-evicted (0 = unbounded)")
-		storeLoc = fs.String("store", "", "shared artifact store (directory or store URL); empty = upload via the coordinator")
-		cacheDir = fs.String("cache", "", "local read-through cache directory in front of a remote -store URL")
-		metrics  = fs.String("metrics", "", "serve Prometheus metrics on this address (host:port; port 0 picks a free port; empty = off)")
-		quiet    = fs.Bool("quiet", false, "suppress lease lifecycle logs on stderr")
+		join      = fs.String("join", "http://127.0.0.1:8080", "coordinator base URL to join")
+		workers   = fs.Int("workers", 0, "concurrent job slots (0 = GOMAXPROCS; also sizes the sweep pool)")
+		name      = fs.String("name", "", "worker name (default <hostname>-<pid>)")
+		poll      = fs.Duration("poll", 500*time.Millisecond, "idle lease poll interval")
+		drain     = fs.Duration("drain-timeout", 30*time.Second, "how long a signalled worker keeps finishing in-flight jobs")
+		maxWarm   = fs.Int("max-warm-systems", 0, "bound on cached warm System engines, LRU-evicted (0 = unbounded)")
+		storeLoc  = fs.String("store", "", "shared artifact store (directory or store URL); empty = upload via the coordinator")
+		cacheDir  = fs.String("cache", "", "local read-through cache directory in front of a remote -store URL")
+		metrics   = fs.String("metrics", "", "serve Prometheus metrics on this address (host:port; port 0 picks a free port; empty = off)")
+		logLevel  = fs.String("log-level", "info", "structured log threshold on stderr: debug, info, warn, error")
+		debugAddr = fs.String("debug-addr", "", "serve pprof and runtime diagnostics on this address (empty = off)")
+		quiet     = fs.Bool("quiet", false, "suppress lease lifecycle logs on stderr")
 	)
 	if code, done := parseFlags(fs, args, stderr); done {
 		return code
 	}
 
-	logf := func(format string, a ...any) {
-		fmt.Fprintf(stderr, "worker: "+format+"\n", a...)
+	logger, code := newCLILogger("sparkxd worker", *quiet, *logLevel, stderr)
+	if code != 0 {
+		return code
 	}
-	if *quiet {
-		logf = nil
+	if *debugAddr != "" {
+		stop, ok := startDebugServer(*debugAddr, stdout, stderr)
+		if !ok {
+			return 1
+		}
+		defer stop()
 	}
 	// One transport for both the lease protocol and a remote store, so
 	// they share connection pools toward the same hosts; the timeout
@@ -90,7 +97,7 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		MaxWarmSystems: *maxWarm,
 		HTTPClient:     hc,
 		Store:          st,
-		Logf:           logf,
+		Logger:         logger,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "sparkxd worker: %v\n", err)

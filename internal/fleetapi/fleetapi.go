@@ -54,6 +54,12 @@ type Grant struct {
 	Spec sparkxd.JobSpec `json:"spec"`
 	// TTLMillis is how long the lease lives without a renewal.
 	TTLMillis int64 `json:"ttl_ms"`
+	// Traceparent carries the job's trace context (the lease span, W3C
+	// encoded) so worker-side spans nest under the coordinator's lease
+	// span. It rides the lease payload — out-of-band, never inside Spec —
+	// so job IDs stay content hashes of the spec alone. Empty when the
+	// job has no trace.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // LeaseResponse carries zero or more grants (zero = nothing leasable
@@ -78,6 +84,11 @@ type RenewResponse struct {
 type CompleteRequest struct {
 	Artifacts map[string]sparkxd.ArtifactKey `json:"artifacts,omitempty"`
 	Error     string                         `json:"error,omitempty"`
+	// Spans carries the worker's final spans (artifact upload, the
+	// execution envelope) that only finish at completion time, when no
+	// further event batch will be flushed. Earlier spans (stages, warm
+	// builds) ride the ordinary event batches instead.
+	Spans []sparkxd.TraceSpan `json:"spans,omitempty"`
 }
 
 // WorkerStatus is one row of GET /v1/workers.

@@ -78,9 +78,13 @@ func NewSystems(workers, maxWarm int, observer func(fp string, ev sparkxd.Event)
 
 // Acquire returns (building once) the shared System of one
 // configuration fingerprint, pinned against eviction until release is
-// called. release is always non-nil and safe to call exactly once;
-// callers should defer it around the job's execution.
-func (c *Systems) Acquire(fp string, cfg sparkxd.ConfigSpec) (sys *sparkxd.System, release func(), err error) {
+// called. built reports whether this call found the fingerprint cold
+// and (with the engine build happening inside the call) paid for the
+// System construction — callers use it to attribute warm-build latency
+// (e.g. a "warm-system-build" trace span). release is always non-nil
+// and safe to call exactly once; callers should defer it around the
+// job's execution.
+func (c *Systems) Acquire(fp string, cfg sparkxd.ConfigSpec) (sys *sparkxd.System, built bool, release func(), err error) {
 	c.mu.Lock()
 	ent, ok := c.entries[fp]
 	if ok {
@@ -121,7 +125,7 @@ func (c *Systems) Acquire(fp string, cfg sparkxd.ConfigSpec) (sys *sparkxd.Syste
 			c.mu.Unlock()
 		})
 	}
-	return ent.sys, release, ent.err
+	return ent.sys, !ok, release, ent.err
 }
 
 // setBuiltLocked records a build result under the lock so concurrent

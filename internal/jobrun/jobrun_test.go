@@ -25,7 +25,7 @@ func tinyConfig(seed uint64) sparkxd.ConfigSpec {
 
 func mustAcquire(t *testing.T, c *Systems, fp string, cfg sparkxd.ConfigSpec) (*sparkxd.System, func()) {
 	t.Helper()
-	sys, release, err := c.Acquire(fp, cfg)
+	sys, _, release, err := c.Acquire(fp, cfg)
 	if err != nil {
 		t.Fatalf("Acquire(%s): %v", fp, err)
 	}
@@ -139,7 +139,7 @@ func TestEvictedFingerprintRebuildsIdentically(t *testing.T) {
 	}
 
 	produce := func() map[string][]byte {
-		sys, release, err := c.Acquire(fp, spec.Config)
+		sys, _, release, err := c.Acquire(fp, spec.Config)
 		if err != nil {
 			t.Fatalf("Acquire: %v", err)
 		}
@@ -208,7 +208,7 @@ func TestProduceStageObserver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, release, err := c.Acquire(fp, spec.Config)
+	sys, _, release, err := c.Acquire(fp, spec.Config)
 	if err != nil {
 		t.Fatal(err)
 	}

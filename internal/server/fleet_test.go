@@ -218,7 +218,7 @@ func TestLeaseCompletionValidation(t *testing.T) {
 	}
 	t.Cleanup(srv.Close)
 
-	if err := srv.CompleteLease("lease-999999", nil, "boom"); !errors.Is(err, ErrLeaseLost) {
+	if err := srv.CompleteLease("lease-999999", nil, "boom", nil); !errors.Is(err, ErrLeaseLost) {
 		t.Errorf("completing an unknown lease: err = %v, want ErrLeaseLost", err)
 	}
 	status, _, err := srv.Submit(tinySweepJob())
@@ -230,11 +230,11 @@ func TestLeaseCompletionValidation(t *testing.T) {
 		t.Fatalf("AcquireLeases = %v, %v", grants, err)
 	}
 	missing := sparkxd.ArtifactKey(sparkxd.KindSweepReport + "/0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
-	err = srv.CompleteLease(grants[0].LeaseID, map[string]sparkxd.ArtifactKey{"sweep": missing}, "")
+	err = srv.CompleteLease(grants[0].LeaseID, map[string]sparkxd.ArtifactKey{"sweep": missing}, "", nil)
 	if !errors.Is(err, ErrBadComplete) {
 		t.Errorf("completion with missing artifact: err = %v, want ErrBadComplete", err)
 	}
-	if err := srv.CompleteLease(grants[0].LeaseID, nil, ""); !errors.Is(err, ErrBadComplete) {
+	if err := srv.CompleteLease(grants[0].LeaseID, nil, "", nil); !errors.Is(err, ErrBadComplete) {
 		t.Errorf("empty completion: err = %v, want ErrBadComplete", err)
 	}
 	// The lease survives rejected completions; releasing requeues.

@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"sparkxd"
 	"sparkxd/internal/fleetapi"
 	"sparkxd/internal/metrics"
 	"sparkxd/internal/store"
+	"sparkxd/internal/tracing"
+	"sparkxd/internal/version"
 )
 
 // Handler returns the server's HTTP API:
@@ -23,6 +26,8 @@ import (
 //	                                from the start (or from Last-Event-ID)
 //	                                and streamed until the job reaches a
 //	                                terminal state
+//	GET    /v1/jobs/{id}/trace      the assembled distributed trace of a
+//	                                terminal job (404 until assembly)
 //	GET    /v1/artifacts            Info listing of one artifact kind
 //	                                (?kind=; federation peers preload job
 //	                                records through it)
@@ -54,6 +59,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/artifacts", s.handleArtifactList)
 	mux.HandleFunc("GET /v1/artifacts/{key...}", s.handleArtifact)
 	mux.HandleFunc("PUT /v1/artifacts/{key...}", s.handleArtifactPut)
@@ -106,6 +112,7 @@ func (s *Server) writeMisdirect(w http.ResponseWriter, jobID, owner string) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
+		"version":     version.String(),
 		"dispatch":    string(s.dispatch),
 		"workers":     len(s.Workers()),
 		"queue_depth": s.QueueDepth(),
@@ -113,6 +120,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if s.admit != nil {
 		if ok, retry := s.admit.admit(submitterKey(r)); !ok {
 			s.metrics.submitted.With("throttled").Inc()
@@ -129,7 +137,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
 		return
 	}
-	status, created, err := s.Submit(spec)
+	status, created, err := s.SubmitTraced(spec, r.Header.Get(tracing.Header))
 	if err != nil {
 		var mis *MisdirectError
 		if errors.As(err, &mis) {
@@ -150,6 +158,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	if created {
 		code = http.StatusAccepted
+		s.noteAdmission(status.ID, start)
 	}
 	writeJSON(w, code, status)
 }
@@ -246,6 +255,32 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleTrace serves a job's assembled distributed trace. The trace
+// only exists once the job is terminal (it is assembled at the terminal
+// transition), so a running job answers 404 with a hint; unknown jobs
+// follow the same 421-on-peer contract as the other job routes.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	trace, known, err := s.TraceFor(id)
+	if !known {
+		if owner, mis := s.Owner(id); mis {
+			s.writeMisdirect(w, id, owner)
+			return
+		}
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "load trace: %v", err)
+		return
+	}
+	if trace == nil {
+		writeError(w, http.StatusNotFound, "job %q has no assembled trace yet (traces assemble when the job reaches a terminal state)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, trace)
 }
 
 // handleArtifact serves one stored envelope. The error contract is the
@@ -372,7 +407,7 @@ func (s *Server) handleLeaseComplete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode completion: %v", err)
 		return
 	}
-	if err := s.CompleteLease(r.PathValue("id"), req.Artifacts, req.Error); err != nil {
+	if err := s.CompleteLease(r.PathValue("id"), req.Artifacts, req.Error, req.Spans); err != nil {
 		writeLeaseError(w, err)
 		return
 	}

@@ -8,6 +8,7 @@ import (
 
 	"sparkxd"
 	"sparkxd/internal/fleetapi"
+	"sparkxd/internal/tracing"
 )
 
 // Lease protocol failures (mapped onto HTTP status codes in http.go).
@@ -33,7 +34,7 @@ func (s *Server) RegisterWorker(name string, slots int) (fleetapi.RegisterRespon
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touchWorkerLocked(name, slots)
-	s.logf("worker %s registered (%d slots)", name, slots)
+	s.log.Info("worker registered", "worker", name, "slots", slots)
 	return fleetapi.RegisterResponse{
 		Name:           name,
 		LeaseTTLMillis: s.leaseTTL.Milliseconds(),
@@ -104,7 +105,7 @@ func (s *Server) AcquireLeases(worker string, capacity int) ([]fleetapi.Grant, e
 				keep = append(keep, rec)
 				continue
 			}
-			s.logf("job %s: every live worker excluded; clearing exclusions", rec.status.ID)
+			s.log.Warn("every live worker excluded; clearing exclusions", "job", rec.status.ID)
 			rec.excluded = nil
 		}
 		s.leaseSeq++
@@ -114,18 +115,29 @@ func (s *Server) AcquireLeases(worker string, capacity int) ([]fleetapi.Grant, e
 			rec:     rec,
 			expires: time.Now().Add(s.leaseTTL),
 		}
+		// The queue episode ends with the grant; the lease span stays open
+		// until the lease completes, releases, expires, or is revoked, and
+		// its context rides the grant so worker spans nest under it.
+		s.closeQueueSpanLocked(rec, worker)
+		var traceparent string
+		if rec.trace != nil {
+			l.span = tracing.Start(rec.trace.root, s.procName(), "lease")
+			traceparent = l.span.Context().Traceparent()
+		}
 		s.leases[l.id] = l
 		rec.leaseID = l.id
 		rec.status.State = sparkxd.JobRunning
 		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "leased",
 			Message: fmt.Sprintf("worker %s (lease %s)", worker, l.id)})
-		s.logf("job %s leased to worker %s (%s)", rec.status.ID, worker, l.id)
+		s.log.Info("job leased", "job", rec.status.ID, "trace", rec.status.TraceID,
+			"worker", worker, "lease", l.id)
 		s.metrics.leaseOps.With("grant").Inc()
 		grants = append(grants, fleetapi.Grant{
-			LeaseID:   l.id,
-			JobID:     rec.status.ID,
-			Spec:      rec.status.Spec,
-			TTLMillis: s.leaseTTL.Milliseconds(),
+			LeaseID:     l.id,
+			JobID:       rec.status.ID,
+			Spec:        rec.status.Spec,
+			TTLMillis:   s.leaseTTL.Milliseconds(),
+			Traceparent: traceparent,
 		})
 	}
 	s.queue = keep
@@ -142,6 +154,7 @@ func (s *Server) RenewLease(id string) (time.Duration, error) {
 		return 0, ErrLeaseLost
 	}
 	l.expires = time.Now().Add(s.leaseTTL)
+	l.renews++
 	s.touchWorkerLocked(l.worker, 0)
 	s.metrics.leaseOps.With("renew").Inc()
 	return s.leaseTTL, nil
@@ -160,13 +173,16 @@ func (s *Server) ReleaseLease(id string) error {
 	delete(s.leases, id)
 	s.touchWorkerLocked(l.worker, 0)
 	s.metrics.leaseOps.With("release").Inc()
+	s.closeLeaseSpanLocked(l, "released")
 	s.requeueLocked(l.rec, fmt.Sprintf("released by worker %s", l.worker))
 	return nil
 }
 
 // IngestEvents bridges a worker's forwarded engine events into the
-// job's SSE stream. Events on a lost lease are dropped (ErrLeaseLost)
-// so a zombie worker cannot pollute a job that moved on.
+// job's SSE stream. Span-bearing events are routed into the job's trace
+// instead of the event log — they are telemetry, not progress. Events
+// on a lost lease are dropped (ErrLeaseLost) so a zombie worker cannot
+// pollute a job that moved on.
 func (s *Server) IngestEvents(id string, evs []sparkxd.Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -175,6 +191,10 @@ func (s *Server) IngestEvents(id string, evs []sparkxd.Event) error {
 		return ErrLeaseLost
 	}
 	for _, ev := range evs {
+		if ev.Span != nil {
+			s.addSpanLocked(l.rec, *ev.Span)
+			continue
+		}
 		s.appendEventLocked(l.rec, ev)
 	}
 	return nil
@@ -183,8 +203,12 @@ func (s *Server) IngestEvents(id string, evs []sparkxd.Event) error {
 // CompleteLease finishes a leased job: either with an artifact role map
 // the worker has already uploaded to the store, or with a failure
 // message. Artifact keys are verified present before the job is marked
-// done — a completion must never dangle.
-func (s *Server) CompleteLease(id string, arts map[string]sparkxd.ArtifactKey, failure string) error {
+// done — a completion must never dangle. spans carries the worker's
+// completion-time spans (artifact upload, the execution envelope) that
+// no further event batch could have delivered; they join the job's
+// trace, which is assembled and persisted here at the terminal
+// transition.
+func (s *Server) CompleteLease(id string, arts map[string]sparkxd.ArtifactKey, failure string, spans []sparkxd.TraceSpan) error {
 	if failure == "" && len(arts) == 0 {
 		return fmt.Errorf("%w: neither artifacts nor an error", ErrBadComplete)
 	}
@@ -209,16 +233,23 @@ func (s *Server) CompleteLease(id string, arts map[string]sparkxd.ArtifactKey, f
 	rec := l.rec
 	rec.leaseID = ""
 	if rec.status.State.Terminal() {
+		s.closeLeaseSpanLocked(l, "stale")
 		s.mu.Unlock()
 		return nil
+	}
+	for _, sd := range spans {
+		s.addSpanLocked(rec, sd)
 	}
 	if failure != "" {
 		rec.status.State = sparkxd.JobFailed
 		rec.status.Error = failure
 		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "failed", Message: failure})
 		s.metrics.observeTerminal(rec, "failed", "fleet")
-		s.logf("job %s failed on worker %s: %s", rec.status.ID, l.worker, failure)
+		s.closeLeaseSpanLocked(l, "failed")
+		s.log.Warn("job failed on worker", "job", rec.status.ID, "trace", rec.status.TraceID,
+			"worker", l.worker, "err", failure)
 		s.mu.Unlock()
+		s.finalizeTrace(rec)
 		return nil
 	}
 	rec.status.State = sparkxd.JobDone
@@ -226,10 +257,16 @@ func (s *Server) CompleteLease(id string, arts map[string]sparkxd.ArtifactKey, f
 	s.metrics.observeTerminal(rec, "done", "fleet")
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "done",
 		Message: fmt.Sprintf("%d artifacts (worker %s)", len(arts), l.worker)})
-	s.logf("job %s done on worker %s (%d artifacts)", rec.status.ID, l.worker, len(arts))
-	status := copyStatus(rec.status)
+	s.closeLeaseSpanLocked(l, "completed")
+	s.log.Info("job done on worker", "job", rec.status.ID, "trace", rec.status.TraceID,
+		"worker", l.worker, "artifacts", len(arts))
 	s.mu.Unlock()
-	s.persistRecord(status)
+	s.finalizeTrace(rec)
+	s.mu.Lock()
+	status := copyStatus(rec.status)
+	traceKey := rec.traceKey
+	s.mu.Unlock()
+	s.persistRecord(status, traceKey)
 	return nil
 }
 
@@ -291,6 +328,7 @@ func (s *Server) expireLeases(now time.Time) {
 			rec.excluded = make(map[string]bool)
 		}
 		rec.excluded[l.worker] = true
+		s.closeLeaseSpanLocked(l, "expired")
 		s.requeueLocked(rec, fmt.Sprintf("lease %s expired on worker %s", id, l.worker))
 	}
 }

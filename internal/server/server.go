@@ -32,14 +32,18 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"sparkxd"
 	"sparkxd/internal/jobrun"
+	"sparkxd/internal/logging"
 	"sparkxd/internal/sched"
+	"sparkxd/internal/tracing"
 )
 
 // Dispatch selects who executes queued jobs.
@@ -105,7 +109,13 @@ type Config struct {
 	// Peers lists every shard's advertised base URL (len == ShardCount;
 	// Peers[ShardIndex-1] is this coordinator). Required when sharding.
 	Peers []string
-	// Logf, when non-nil, receives one line per job state transition.
+	// Logger, when non-nil, receives structured logs (one record per job,
+	// lease, and trace transition, with job/lease/trace IDs as attrs).
+	// Takes precedence over Logf.
+	Logger *slog.Logger
+	// Logf, when non-nil and Logger is nil, receives the same records
+	// flattened to single printf-style lines (legacy hook; tests pass
+	// t.Logf here).
 	Logf func(format string, args ...any)
 }
 
@@ -118,7 +128,7 @@ type Server struct {
 	dispatch Dispatch
 	leaseTTL time.Duration
 	shard    shardInfo
-	logf     func(string, ...any)
+	log      *slog.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -173,6 +183,12 @@ type jobRec struct {
 
 	leaseID  string          // active lease ("" when unleased)
 	excluded map[string]bool // workers whose lease on this job expired
+
+	// trace accumulates the job's distributed spans (nil only for jobs
+	// restored as done from persisted records); traceKey is the assembled
+	// KindJobTrace artifact once the job is terminal.
+	trace    *jobTraceState
+	traceKey sparkxd.ArtifactKey
 }
 
 // lease is one worker's time-bounded claim on one job. At most one
@@ -183,6 +199,12 @@ type lease struct {
 	worker  string
 	rec     *jobRec
 	expires time.Time
+
+	// span is the open lease-lifecycle span; its context rides the Grant
+	// as a traceparent so worker spans nest under it. renews counts
+	// heartbeats (reported as a span attribute at close).
+	span   *tracing.Span
+	renews int
 }
 
 // workerInfo tracks one registered fleet worker for observability.
@@ -215,10 +237,6 @@ func New(cfg Config) (*Server, error) {
 	if err := shard.validate(); err != nil {
 		return nil, err
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		st:       st,
@@ -226,7 +244,7 @@ func New(cfg Config) (*Server, error) {
 		dispatch: dispatch,
 		leaseTTL: leaseTTL,
 		shard:    shard,
-		logf:     logf,
+		log:      logging.New(cfg.Logger, cfg.Logf),
 		ctx:      ctx,
 		cancel:   cancel,
 		jobs:     make(map[string]*jobRec),
@@ -290,7 +308,7 @@ func (s *Server) Drain(timeout time.Duration) {
 	}
 	s.draining = true
 	s.mu.Unlock()
-	s.logf("draining (timeout %s)", timeout)
+	s.log.Info("draining", "timeout", timeout)
 
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
@@ -306,6 +324,7 @@ func (s *Server) Drain(timeout time.Duration) {
 	defer s.mu.Unlock()
 	for id, l := range s.leases {
 		delete(s.leases, id)
+		s.closeLeaseSpanLocked(l, "revoked")
 		s.requeueLocked(l.rec, fmt.Sprintf("drain timeout: lease %s on worker %s revoked", id, l.worker))
 	}
 }
@@ -324,6 +343,16 @@ func (s *Server) Drain(timeout time.Duration) {
 // can be replaced by a fresh process that resumes the queue from the
 // shared store (see loadRecords).
 func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
+	return s.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit carrying the submission's W3C traceparent
+// (from the HTTP header; "" when the client sent none). The trace
+// context is held out-of-band on the job record — it never enters the
+// spec, so job identity is byte-identical with tracing on or off. A
+// valid traceparent continues the client's trace; otherwise the job
+// roots a fresh one.
+func (s *Server) SubmitTraced(spec sparkxd.JobSpec, traceparent string) (sparkxd.JobStatus, bool, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
 		return sparkxd.JobStatus{}, false, err
@@ -362,7 +391,9 @@ func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
 		notify:   make(chan struct{}),
 		seq:      s.jobSeq,
 		queuedAt: time.Now(),
+		trace:    newJobTraceState(traceparent),
 	}
+	rec.status.TraceID = rec.trace.traceID()
 	s.metrics.submitted.With("created").Inc()
 	if norm.Kind == sparkxd.JobSweep {
 		s.metrics.observeSweepAxes(norm.Sweep)
@@ -377,10 +408,11 @@ func (s *Server) Submit(spec sparkxd.JobSpec) (sparkxd.JobStatus, bool, error) {
 	status := copyStatus(rec.status)
 	s.mu.Unlock()
 	// Persist the queued-state record outside the lock (store writes do
-	// IO). The spec is content-addressed, so duplicate submissions across
-	// coordinator lifetimes write the same record — an idempotent no-op.
-	s.persistRecord(status)
-	s.logf("job %s queued (%s)", id, norm.Kind)
+	// IO). The spec is content-addressed and queued records carry no
+	// trace fields, so duplicate submissions across coordinator lifetimes
+	// write the same record — an idempotent no-op.
+	s.persistRecord(status, "")
+	s.log.Info("job queued", "job", id, "kind", norm.Kind, "trace", status.TraceID)
 	return status, true, nil
 }
 
@@ -466,7 +498,7 @@ func (s *Server) eventsSince(id string, from int) (evs []sparkxd.Event, next int
 func (s *Server) loadRecords() {
 	infos, err := s.st.List(sparkxd.KindJobRecord)
 	if err != nil {
-		s.logf("job records: list: %v", err)
+		s.log.Warn("job records list failed", "err", err)
 		return
 	}
 	type candidate struct {
@@ -478,7 +510,7 @@ func (s *Server) loadRecords() {
 	for _, info := range infos {
 		rec, err := sparkxd.GetJobRecord(s.st, info.Key)
 		if err != nil {
-			s.logf("job records: %s: %v", info.Key, err)
+			s.log.Warn("job record unreadable", "key", string(info.Key), "err", err)
 			continue
 		}
 		if rec.Version > sparkxd.JobRecordVersion || rec.JobID == "" {
@@ -532,9 +564,11 @@ func (s *Server) loadRecords() {
 					State:     sparkxd.JobDone,
 					Spec:      rec.Spec,
 					Artifacts: rec.Artifacts,
+					TraceID:   rec.TraceID,
 				},
-				fp:     fp,
-				notify: make(chan struct{}),
+				fp:       fp,
+				notify:   make(chan struct{}),
+				traceKey: rec.TraceKey,
 			}
 			s.jobs[rec.JobID] = jr
 			s.appendEventLocked(jr, sparkxd.Event{Stage: "job", Phase: "done",
@@ -550,7 +584,11 @@ func (s *Server) loadRecords() {
 			notify:   make(chan struct{}),
 			seq:      s.jobSeq,
 			queuedAt: time.Now(),
+			// The original submission's trace died with the previous
+			// coordinator; the takeover lifetime roots a fresh one.
+			trace: newJobTraceState(""),
 		}
+		jr.status.TraceID = jr.trace.traceID()
 		s.jobs[rec.JobID] = jr
 		s.queue = append(s.queue, jr)
 		s.appendEventLocked(jr, sparkxd.Event{Stage: "job", Phase: "queued",
@@ -564,15 +602,18 @@ func (s *Server) loadRecords() {
 		}
 	}
 	if loaded > 0 || requeued > 0 {
-		s.logf("job records: %d completed jobs restored, %d unfinished jobs requeued from the store", loaded, requeued)
+		s.log.Info("job records restored", "completed", loaded, "requeued", requeued)
 	}
 }
 
 // persistRecord writes a job's durable record to the store: a
 // queued-state record at accept time (so a replacement coordinator can
-// resume the queue) and a done-state record at completion. Called
-// without s.mu held (store writes do IO).
-func (s *Server) persistRecord(status sparkxd.JobStatus) {
+// resume the queue) and a done-state record at completion. Trace fields
+// ride only the done record (traceKey != ""): queued records must stay
+// deterministic in the spec so resubmissions across coordinator
+// lifetimes remain idempotent store writes. Called without s.mu held
+// (store writes do IO).
+func (s *Server) persistRecord(status sparkxd.JobStatus, traceKey sparkxd.ArtifactKey) {
 	rec := &sparkxd.JobRecord{
 		Version:   sparkxd.JobRecordVersion,
 		JobID:     status.ID,
@@ -580,8 +621,12 @@ func (s *Server) persistRecord(status sparkxd.JobStatus) {
 		Spec:      status.Spec,
 		Artifacts: status.Artifacts,
 	}
+	if traceKey != "" {
+		rec.TraceID = status.TraceID
+		rec.TraceKey = traceKey
+	}
 	if _, err := sparkxd.PutArtifact(s.st, rec); err != nil {
-		s.logf("job %s: persist record: %v", status.ID, err)
+		s.log.Warn("persist record failed", "job", status.ID, "err", err)
 	}
 }
 
@@ -655,6 +700,9 @@ func (s *Server) takeQueued() []*jobRec {
 	batch := s.queue[:n:n]
 	s.queue = append([]*jobRec(nil), s.queue[n:]...)
 	s.inflight += len(batch)
+	for _, rec := range batch {
+		s.closeQueueSpanLocked(rec, "local")
+	}
 	return batch
 }
 
@@ -706,29 +754,62 @@ func (s *Server) execute(rec *jobRec) {
 	s.finish(rec, arts, err)
 }
 
-// run performs the job's work and returns the artifact role map.
+// run performs the job's work and returns the artifact role map. The
+// whole local execution is wrapped in an "execute" span (a child of the
+// job root) with warm-build, per-stage, and artifact-store child spans —
+// the local-dispatch mirror of what a fleet worker emits.
 func (s *Server) run(rec *jobRec) (map[string]sparkxd.ArtifactKey, error) {
-	sys, release, err := s.systems.Acquire(rec.fp, rec.status.Spec.Config)
-	if err != nil {
-		release()
+	proc := s.procName()
+	s.mu.Lock()
+	var parent tracing.SpanContext
+	if rec.trace != nil {
+		parent = rec.trace.root
+	}
+	s.mu.Unlock()
+	exec := tracing.Start(parent, proc, "execute")
+	exec.SetAttr("executor", "local")
+	fail := func(err error) (map[string]sparkxd.ArtifactKey, error) {
+		exec.SetAttr("outcome", "failed")
+		s.addSpan(rec, exec.End())
 		return nil, err
 	}
+
+	acqStart := time.Now()
+	sys, built, release, err := s.systems.Acquire(rec.fp, rec.status.Spec.Config)
+	if err != nil {
+		release()
+		return fail(err)
+	}
 	defer release()
+	if built {
+		s.addSpan(rec, tracing.Completed(exec.Context(), proc, "warm-system-build",
+			acqStart, time.Since(acqStart), map[string]string{"fingerprint": rec.fp}))
+	}
 	s.markRunningOn(rec)
 	defer s.unmarkRunningOn(rec)
 
-	produced, err := jobrun.Produce(s.ctx, sys, rec.status.Spec, s.metrics.observeStage)
-	if err != nil {
-		return nil, err
+	observe := func(stage string, d time.Duration) {
+		s.metrics.observeStage(stage, d)
+		s.addSpan(rec, tracing.Completed(exec.Context(), proc, "stage:"+stage,
+			time.Now().Add(-d), d, nil))
 	}
+	produced, err := jobrun.Produce(s.ctx, sys, rec.status.Spec, observe)
+	if err != nil {
+		return fail(err)
+	}
+	storeStart := time.Now()
 	arts := make(map[string]sparkxd.ArtifactKey, len(produced))
 	for role, v := range produced {
 		key, err := sparkxd.PutArtifact(s.st, v)
 		if err != nil {
-			return nil, fmt.Errorf("store %s: %w", role, err)
+			return fail(fmt.Errorf("store %s: %w", role, err))
 		}
 		arts[role] = key
 	}
+	s.addSpan(rec, tracing.Completed(exec.Context(), proc, "store-artifacts",
+		storeStart, time.Since(storeStart), map[string]string{"artifacts": strconv.Itoa(len(arts))}))
+	exec.SetAttr("outcome", "done")
+	s.addSpan(rec, exec.End())
 	return arts, nil
 }
 
@@ -765,7 +846,7 @@ func (s *Server) setRunning(rec *jobRec) {
 	defer s.mu.Unlock()
 	rec.status.State = sparkxd.JobRunning
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "running", Message: rec.status.ID})
-	s.logf("job %s running", rec.status.ID)
+	s.log.Info("job running", "job", rec.status.ID, "trace", rec.status.TraceID)
 }
 
 // finish records a local job's terminal state — or requeues it when the
@@ -792,8 +873,9 @@ func (s *Server) finish(rec *jobRec, arts map[string]sparkxd.ArtifactKey, err er
 		rec.status.Error = err.Error()
 		s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "failed", Message: err.Error()})
 		s.metrics.observeTerminal(rec, "failed", "local")
-		s.logf("job %s failed: %v", rec.status.ID, err)
+		s.log.Warn("job failed", "job", rec.status.ID, "trace", rec.status.TraceID, "err", err)
 		s.mu.Unlock()
+		s.finalizeTrace(rec)
 		return
 	}
 	rec.status.State = sparkxd.JobDone
@@ -801,10 +883,14 @@ func (s *Server) finish(rec *jobRec, arts map[string]sparkxd.ArtifactKey, err er
 	s.metrics.observeTerminal(rec, "done", "local")
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "done",
 		Message: fmt.Sprintf("%d artifacts", len(arts))})
-	s.logf("job %s done (%d artifacts)", rec.status.ID, len(arts))
-	status := copyStatus(rec.status)
+	s.log.Info("job done", "job", rec.status.ID, "trace", rec.status.TraceID, "artifacts", len(arts))
 	s.mu.Unlock()
-	s.persistRecord(status)
+	s.finalizeTrace(rec)
+	s.mu.Lock()
+	status := copyStatus(rec.status)
+	traceKey := rec.traceKey
+	s.mu.Unlock()
+	s.persistRecord(status, traceKey)
 }
 
 // requeueLocked returns a non-terminal job to the front of the queue.
@@ -813,13 +899,14 @@ func (s *Server) requeueLocked(rec *jobRec, msg string) {
 	rec.leaseID = ""
 	rec.status.State = sparkxd.JobQueued
 	s.metrics.requeued.Inc()
+	s.reopenQueueSpanLocked(rec)
 	s.appendEventLocked(rec, sparkxd.Event{Stage: "job", Phase: "requeued", Message: msg})
 	s.queue = append([]*jobRec{rec}, s.queue...)
 	select {
 	case s.wake <- struct{}{}:
 	default:
 	}
-	s.logf("job %s requeued: %s", rec.status.ID, msg)
+	s.log.Info("job requeued", "job", rec.status.ID, "trace", rec.status.TraceID, "reason", msg)
 }
 
 // appendEventLocked records an event on a job (trimming the log's

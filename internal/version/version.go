@@ -1,0 +1,51 @@
+// Package version derives the build's version string from the Go
+// runtime's embedded build information, so every binary, the /v1/healthz
+// probe, and every trace root span agree on what is running without a
+// linker-flag stamping step.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+var once = sync.OnceValue(compute)
+
+// String returns the build's version: the main module's version when it
+// was built as a versioned dependency, otherwise the VCS revision
+// (+dirty marker) when built from a checkout, otherwise "devel". The Go
+// toolchain version is always appended.
+func String() string { return once() }
+
+func compute() string {
+	v := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if mv := bi.Main.Version; mv != "" && mv != "(devel)" {
+			v = mv
+		} else if rev, dirty := vcsInfo(bi); rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			v = rev
+			if dirty {
+				v += "-dirty"
+			}
+		}
+	}
+	return fmt.Sprintf("%s (%s)", v, runtime.Version())
+}
+
+// vcsInfo extracts the VCS revision and dirty flag from build settings.
+func vcsInfo(bi *debug.BuildInfo) (rev string, dirty bool) {
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}

@@ -73,10 +73,11 @@ func (c *coordClient) postEvents(ctx context.Context, leaseID string, evs []spar
 }
 
 // complete finishes the leased job with either an uploaded artifact
-// role map or a failure message.
-func (c *coordClient) complete(ctx context.Context, leaseID string, arts map[string]sparkxd.ArtifactKey, failure string) error {
+// role map or a failure message, plus the worker's completion-time
+// trace spans.
+func (c *coordClient) complete(ctx context.Context, leaseID string, arts map[string]sparkxd.ArtifactKey, failure string, spans []sparkxd.TraceSpan) error {
 	return c.do(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/complete",
-		fleetapi.CompleteRequest{Artifacts: arts, Error: failure}, nil)
+		fleetapi.CompleteRequest{Artifacts: arts, Error: failure, Spans: spans}, nil)
 }
 
 // putArtifact uploads one canonical envelope to the coordinator's

@@ -18,16 +18,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"sparkxd"
 	"sparkxd/internal/fleetapi"
 	"sparkxd/internal/jobrun"
+	"sparkxd/internal/logging"
 	"sparkxd/internal/store"
+	"sparkxd/internal/tracing"
 )
 
 // Config parameterizes a Worker.
@@ -63,7 +67,11 @@ type Config struct {
 	// endpoint. The coordinator must be backed by the same store, or
 	// completions will fail its artifact verification.
 	Store sparkxd.ArtifactStore
-	// Logf, when non-nil, receives one line per lease transition.
+	// Logger, when non-nil, receives structured logs (job/lease/trace
+	// IDs as attrs). Takes precedence over Logf.
+	Logger *slog.Logger
+	// Logf, when non-nil and Logger is nil, receives the same records
+	// flattened to single printf-style lines (legacy hook).
 	Logf func(format string, args ...any)
 }
 
@@ -74,7 +82,7 @@ type Worker struct {
 	poll          time.Duration
 	drainTimeout  time.Duration
 	flushInterval time.Duration
-	logf          func(string, ...any)
+	log           *slog.Logger
 	api           *coordClient
 	st            sparkxd.ArtifactStore // nil: upload via the coordinator
 
@@ -156,17 +164,13 @@ func New(cfg Config) (*Worker, error) {
 	if flush <= 0 {
 		flush = 200 * time.Millisecond
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
 	w := &Worker{
 		name:          name,
 		slots:         slots,
 		poll:          poll,
 		drainTimeout:  drain,
 		flushInterval: flush,
-		logf:          logf,
+		log:           logging.New(cfg.Logger, cfg.Logf),
 		api:           api,
 		st:            cfg.Store,
 		byFP:          make(map[string]map[*task]struct{}),
@@ -204,7 +208,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			resp, err := w.api.acquire(ctx, w.name, free)
 			if err != nil {
 				if ctx.Err() == nil {
-					w.logf("lease request: %v", err)
+					w.log.Warn("lease request failed", "err", err)
 				}
 			} else {
 				w.metrics.queueDepth.Set(int64(resp.QueueDepth))
@@ -232,14 +236,14 @@ func (w *Worker) Run(ctx context.Context) error {
 
 	// Drain: let in-flight jobs finish inside the window.
 	if n := w.runningCount(); n > 0 {
-		w.logf("draining: %d in-flight jobs, up to %s", n, w.drainTimeout)
+		w.log.Info("draining", "inflight", n, "timeout", w.drainTimeout)
 	}
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
 	case <-time.After(w.drainTimeout):
-		w.logf("drain timeout: releasing remaining leases")
+		w.log.Warn("drain timeout: releasing remaining leases")
 		cancelJobs() // execute() sees jobCtx cancelled and releases the lease
 		<-done
 	}
@@ -257,17 +261,17 @@ func (w *Worker) register(ctx context.Context) error {
 			if w.ttl <= 0 {
 				w.ttl = 15 * time.Second
 			}
-			w.logf("registered with %s as %q (%d slots, lease TTL %s, dispatch %s)",
-				w.api.base, w.name, w.slots, w.ttl, resp.Dispatch)
+			w.log.Info("registered", "coordinator", w.api.base, "worker", w.name,
+				"slots", w.slots, "lease_ttl", w.ttl, "dispatch", resp.Dispatch)
 			if resp.Dispatch == "local" {
-				w.logf("warning: coordinator dispatches locally only; this worker will idle")
+				w.log.Warn("coordinator dispatches locally only; this worker will idle")
 			}
 			return nil
 		}
 		if ctx.Err() != nil {
 			return nil
 		}
-		w.logf("register: %v (retrying in %s)", err, backoff)
+		w.log.Warn("register failed", "err", err, "retry_in", backoff)
 		select {
 		case <-ctx.Done():
 			return nil
@@ -288,14 +292,27 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 	defer cancel()
 	t := &task{grant: g, cancel: cancel}
 
+	// The execution envelope span parents onto the coordinator's lease
+	// span (carried by the grant's traceparent); every worker-side span
+	// nests under it. A grant without a (valid) traceparent roots a
+	// throwaway trace — the coordinator drops spans for untraced jobs.
+	parent, _ := tracing.ParseTraceparent(g.Traceparent)
+	exec := tracing.Start(parent, w.name, "execute")
+	exec.SetAttr("executor", "fleet")
+	exec.SetAttr("lease_id", g.LeaseID)
+	failWith := func(failure string) {
+		exec.SetAttr("outcome", "failed")
+		w.completeWith(t, nil, failure, []sparkxd.TraceSpan{exec.End()})
+	}
+
 	fp, err := g.Spec.Config.Fingerprint()
 	if err != nil {
-		w.completeWith(t, nil, fmt.Sprintf("fingerprint: %v", err))
+		failWith(fmt.Sprintf("fingerprint: %v", err))
 		return
 	}
 	w.addTask(fp, t)
 	defer w.removeTask(fp, t)
-	w.logf("job %s: executing (lease %s)", g.JobID, g.LeaseID)
+	w.log.Info("executing", "job", g.JobID, "lease", g.LeaseID, "trace", exec.Context().TraceID.String())
 
 	// The heartbeat must outlive execution: artifact uploads can take
 	// many TTL windows, and a lease that expires mid-upload would throw
@@ -316,8 +333,22 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 	go func() { defer close(flushDone); w.flushLoop(t, stopFlush) }()
 
 	var produced map[string]any
-	sys, release, err := w.systems.Acquire(fp, g.Spec.Config)
+	acqStart := time.Now()
+	sys, built, release, err := w.systems.Acquire(fp, g.Spec.Config)
 	if err == nil {
+		if built {
+			sd := tracing.Completed(exec.Context(), w.name, "warm-system-build",
+				acqStart, time.Since(acqStart), map[string]string{"fingerprint": fp})
+			t.append(sparkxd.Event{Span: &sd})
+		}
+		// Per-stage spans ride the ordinary event batches alongside the
+		// engine events (the coordinator routes them into the trace).
+		observe := func(stage string, d time.Duration) {
+			w.metrics.observeStage(stage, d)
+			sd := tracing.Completed(exec.Context(), w.name, "stage:"+stage,
+				time.Now().Add(-d), d, nil)
+			t.append(sparkxd.Event{Span: &sd})
+		}
 		func() {
 			defer release()
 			defer func() {
@@ -325,7 +356,7 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 					err = fmt.Errorf("panic: %v", r)
 				}
 			}()
-			produced, err = jobrun.Produce(ctx, sys, g.Spec, w.metrics.observeStage)
+			produced, err = jobrun.Produce(ctx, sys, g.Spec, observe)
 		}()
 	} else {
 		release()
@@ -336,7 +367,7 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 
 	if t.isLost() {
 		w.metrics.jobs.With("abandoned").Inc()
-		w.logf("job %s: lease lost, abandoning result", g.JobID)
+		w.log.Warn("lease lost, abandoning result", "job", g.JobID, "lease", g.LeaseID)
 		return
 	}
 	if err != nil && jobCtx.Err() != nil {
@@ -346,15 +377,15 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 		opCtx, opCancel := w.opContext()
 		defer opCancel()
 		if rerr := w.api.release(opCtx, g.LeaseID); rerr != nil && !errors.Is(rerr, ErrLeaseLost) {
-			w.logf("job %s: release: %v", g.JobID, rerr)
+			w.log.Warn("release failed", "job", g.JobID, "lease", g.LeaseID, "err", rerr)
 		}
 		w.metrics.jobs.With("released").Inc()
-		w.logf("job %s: released (worker shutting down)", g.JobID)
+		w.log.Info("released (worker shutting down)", "job", g.JobID, "lease", g.LeaseID)
 		return
 	}
 	if err != nil {
 		stopHeartbeat()
-		w.completeWith(t, nil, err.Error())
+		failWith(err.Error())
 		return
 	}
 
@@ -362,19 +393,22 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 	// heartbeat keeps the lease alive throughout), then mark the job
 	// complete with the role → key map. With a configured Store the
 	// envelopes go there directly — the coordinator shares the store, so
-	// its completion-time Stat verification still passes.
+	// its completion-time Stat verification still passes. The upload and
+	// execution-envelope spans travel in the completion request: no
+	// event batch is flushed after this point.
+	uploadStart := time.Now()
 	arts := make(map[string]sparkxd.ArtifactKey, len(produced))
 	for role, v := range produced {
 		kind, kerr := sparkxd.ArtifactKind(v)
 		if kerr != nil {
 			stopHeartbeat()
-			w.completeWith(t, nil, fmt.Sprintf("artifact %s: %v", role, kerr))
+			failWith(fmt.Sprintf("artifact %s: %v", role, kerr))
 			return
 		}
 		key, envelope, eerr := store.Encode(kind, v)
 		if eerr != nil {
 			stopHeartbeat()
-			w.completeWith(t, nil, fmt.Sprintf("artifact %s: %v", role, eerr))
+			failWith(fmt.Sprintf("artifact %s: %v", role, eerr))
 			return
 		}
 		var uerr error
@@ -387,39 +421,43 @@ func (w *Worker) execute(jobCtx context.Context, g fleetapi.Grant) {
 		}
 		if uerr != nil {
 			w.metrics.jobs.With("abandoned").Inc()
-			w.logf("job %s: upload %s: %v (abandoning; lease will expire)", g.JobID, key, uerr)
+			w.log.Warn("upload failed; abandoning (lease will expire)", "job", g.JobID, "key", key, "err", uerr)
 			return
 		}
 		w.metrics.uploadBytes.Add(uint64(len(envelope)))
 		if t.isLost() {
 			w.metrics.jobs.With("abandoned").Inc()
-			w.logf("job %s: lease lost mid-upload, abandoning result", g.JobID)
+			w.log.Warn("lease lost mid-upload, abandoning result", "job", g.JobID, "lease", g.LeaseID)
 			return
 		}
 		arts[role] = sparkxd.ArtifactKey(key)
 	}
+	upload := tracing.Completed(exec.Context(), w.name, "artifact-upload",
+		uploadStart, time.Since(uploadStart), map[string]string{"artifacts": strconv.Itoa(len(arts))})
+	exec.SetAttr("outcome", "done")
 	stopHeartbeat()
-	w.completeWith(t, arts, "")
+	w.completeWith(t, arts, "", []sparkxd.TraceSpan{upload, exec.End()})
 }
 
-// completeWith reports a job's outcome to the coordinator.
-func (w *Worker) completeWith(t *task, arts map[string]sparkxd.ArtifactKey, failure string) {
+// completeWith reports a job's outcome to the coordinator, attaching
+// the worker's completion-time spans to the job's trace.
+func (w *Worker) completeWith(t *task, arts map[string]sparkxd.ArtifactKey, failure string, spans []sparkxd.TraceSpan) {
 	opCtx, opCancel := w.opContext()
 	defer opCancel()
-	err := w.api.complete(opCtx, t.grant.LeaseID, arts, failure)
+	err := w.api.complete(opCtx, t.grant.LeaseID, arts, failure, spans)
 	switch {
 	case errors.Is(err, ErrLeaseLost):
 		w.metrics.jobs.With("abandoned").Inc()
-		w.logf("job %s: lease lost before completion", t.grant.JobID)
+		w.log.Warn("lease lost before completion", "job", t.grant.JobID, "lease", t.grant.LeaseID)
 	case err != nil:
 		w.metrics.jobs.With("abandoned").Inc()
-		w.logf("job %s: complete: %v (abandoning; lease will expire)", t.grant.JobID, err)
+		w.log.Warn("complete failed; abandoning (lease will expire)", "job", t.grant.JobID, "err", err)
 	case failure != "":
 		w.metrics.jobs.With("failed").Inc()
-		w.logf("job %s: failed: %s", t.grant.JobID, failure)
+		w.log.Warn("job failed", "job", t.grant.JobID, "err", failure)
 	default:
 		w.metrics.jobs.With("done").Inc()
-		w.logf("job %s: done (%d artifacts)", t.grant.JobID, len(arts))
+		w.log.Info("job done", "job", t.grant.JobID, "artifacts", len(arts))
 	}
 }
 
@@ -457,7 +495,7 @@ func (w *Worker) heartbeat(t *task, stop <-chan struct{}) {
 			failingSince = time.Time{}
 		case errors.Is(err, ErrLeaseLost):
 			w.metrics.heartbeats.With("lost").Inc()
-			w.logf("job %s: heartbeat: %v", t.grant.JobID, err)
+			w.log.Warn("heartbeat: lease lost", "job", t.grant.JobID, "lease", t.grant.LeaseID, "err", err)
 			t.markLost()
 			return
 		default:
@@ -466,7 +504,7 @@ func (w *Worker) heartbeat(t *task, stop <-chan struct{}) {
 				failingSince = time.Now()
 			}
 			if time.Since(failingSince) > w.ttl {
-				w.logf("job %s: coordinator unreachable past the lease TTL: %v", t.grant.JobID, err)
+				w.log.Warn("coordinator unreachable past the lease TTL", "job", t.grant.JobID, "err", err)
 				t.markLost()
 				return
 			}

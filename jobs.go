@@ -327,6 +327,16 @@ type JobRecord struct {
 	Spec JobSpec `json:"spec"`
 	// Artifacts maps result roles to their content-addressed keys.
 	Artifacts map[string]ArtifactKey `json:"artifacts,omitempty"`
+	// TraceID is the trace the job ran under, when tracing recorded one.
+	// Trace context lives here — on the record, out-of-band — and never
+	// inside Spec, so job identity is byte-identical with tracing on or
+	// off.
+	TraceID string `json:"trace_id,omitempty"`
+	// TraceKey is the content address of the job's assembled KindJobTrace
+	// artifact (done/failed records only). Unlike Artifacts, the trace
+	// payload carries wall-clock timings, so the key differs between
+	// re-executions of the same job.
+	TraceKey ArtifactKey `json:"trace_key,omitempty"`
 }
 
 // StageRank returns a pipeline stage's position in PipelineStages, or
@@ -369,4 +379,9 @@ type JobStatus struct {
 	// "placement", "evaluation", "energy", "sweep") to their
 	// content-addressed store keys.
 	Artifacts map[string]ArtifactKey `json:"artifacts,omitempty"`
+	// TraceID is the W3C trace ID the job's lifecycle is being recorded
+	// under. It is service-side state (out-of-band), never part of the
+	// spec or the job's identity; `sparkxd trace <jobID>` renders the
+	// assembled trace once the job is terminal.
+	TraceID string `json:"trace_id,omitempty"`
 }

@@ -1,0 +1,74 @@
+package sparkxd
+
+import (
+	"sort"
+
+	"sparkxd/internal/tracing"
+)
+
+// TraceSpan is one finished span of a job's distributed trace — see
+// internal/tracing.SpanData for the field contract. Spans are emitted
+// by every process that touched the job (the coordinator, plus any
+// fleet workers) and assembled by the coordinator when the job reaches
+// a terminal state.
+type TraceSpan = tracing.SpanData
+
+// JobTraceVersion is the schema version of persisted JobTrace payloads.
+const JobTraceVersion = 1
+
+// JobTrace is the assembled distributed trace of one job: every span
+// the coordinator collected, from submission to terminal state, across
+// every process that executed part of the work. It is persisted as a
+// content-addressed KindJobTrace artifact and served from
+// GET /v1/jobs/{id}/trace.
+//
+// Unlike every other artifact, a trace is observational: its payload
+// carries wall-clock timings, so re-running the same job produces a
+// different trace (and a different trace key). Trace context therefore
+// never participates in job identity — job IDs hash only the JobSpec.
+type JobTrace struct {
+	// Version is JobTraceVersion at write time.
+	Version int `json:"version"`
+	// TraceID is the 32-hex-char W3C trace ID the job ran under.
+	TraceID string `json:"trace_id"`
+	// JobID is the deterministic spec hash the trace belongs to.
+	JobID string `json:"job_id"`
+	// State is the terminal state the trace was assembled at.
+	State JobState `json:"state"`
+	// Spans is every collected span, sorted by start time then span ID.
+	Spans []TraceSpan `json:"spans"`
+}
+
+// Sort orders the spans canonically: by start time, then span ID.
+func (t *JobTrace) Sort() {
+	sort.SliceStable(t.Spans, func(a, b int) bool {
+		if t.Spans[a].StartUnixNano != t.Spans[b].StartUnixNano {
+			return t.Spans[a].StartUnixNano < t.Spans[b].StartUnixNano
+		}
+		return t.Spans[a].SpanID < t.Spans[b].SpanID
+	})
+}
+
+// Span returns the first span with the given name, or nil.
+func (t *JobTrace) Span(name string) *TraceSpan {
+	for i := range t.Spans {
+		if t.Spans[i].Name == name {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Processes returns the distinct span-emitting process names, sorted.
+func (t *JobTrace) Processes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, sp := range t.Spans {
+		if !seen[sp.Process] {
+			seen[sp.Process] = true
+			out = append(out, sp.Process)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

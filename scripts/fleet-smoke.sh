@@ -127,6 +127,35 @@ for series in 'sparkxd_leases_total{op="grant"}' 'sparkxd_job_latency_seconds_co
 done
 echo "fleet-smoke: /metrics shows nonzero lease and job-latency series"
 
+# The completed job must have an assembled distributed trace with spans
+# from at least two processes (the coordinator and a worker), and the
+# spans must nest: queue-wait and lease under the "job" root, the
+# worker's execute envelope under a lease span, and at least one
+# pipeline stage span under an execute span.
+echo "fleet-smoke: fetching the job's distributed trace"
+"$workdir/sparkxd" trace -addr "$addr" -json "$id" > "$workdir/trace.json"
+"$workdir/sparkxd" trace -addr "$addr" "$id"
+if ! jq -e '
+	[.spans[] | select(.name == "job") | .span_id] as $roots |
+	[.spans[] | select(.name == "lease") | .span_id] as $leases |
+	[.spans[] | select(.name == "execute")
+		| select([.parent_span_id] | inside($leases)) | .span_id] as $execs |
+	((.spans | map(.process) | unique | length) >= 2) and
+	(($roots | length) == 1) and
+	(([.spans[] | select(.name == "queue-wait")
+		| select([.parent_span_id] | inside($roots))] | length) >= 1) and
+	(([.spans[] | select(.name == "lease")
+		| select([.parent_span_id] | inside($roots))] | length) >= 1) and
+	(($execs | length) >= 1) and
+	(([.spans[] | select(.name | startswith("stage:"))
+		| select([.parent_span_id] | inside($execs))] | length) >= 1)
+' "$workdir/trace.json" > /dev/null; then
+	echo "fleet-smoke: trace is missing multi-process or nested spans:" >&2
+	cat "$workdir/trace.json" >&2
+	exit 1
+fi
+echo "fleet-smoke: trace spans two processes with queue -> lease -> stage nesting"
+
 echo "fleet-smoke: draining the coordinator and workers"
 kill "$worker2_pid" 2>/dev/null || true
 wait "$worker2_pid" 2>/dev/null || true
@@ -149,3 +178,9 @@ fi
 	> "$workdir/cached.json"
 cmp "$workdir/direct.json" "$workdir/cached.json"
 echo "fleet-smoke: restart served the job from the durable record, byte-identical"
+
+# The trace key rides the durable job record, so the replacement
+# coordinator still serves the trace assembled before the restart.
+"$workdir/sparkxd" trace -addr "$addr" -json "$id" \
+	| jq -e --arg id "$id" '.job_id == $id and (.spans | length) > 0' > /dev/null
+echo "fleet-smoke: restarted coordinator still serves the persisted trace"
